@@ -1,0 +1,113 @@
+package hotspot
+
+// The public API: the implementation lives under internal/ (one package
+// per subsystem; see README Architecture), and this façade re-exports the
+// surface a downstream user needs — training, detection, scoring, model
+// persistence, benchmark generation, and the clip/layout types they
+// operate on. Type aliases keep the façade zero-cost: values flow between
+// the façade and the internal packages without conversion.
+
+import (
+	"io"
+
+	"hotspot/internal/clip"
+	"hotspot/internal/core"
+	"hotspot/internal/geom"
+	"hotspot/internal/iccad"
+	"hotspot/internal/layout"
+)
+
+// Geometry types.
+type (
+	// Coord is a layout coordinate in database units (1 dbu = 1 nm).
+	Coord = geom.Coord
+	// Point is a 2-D layout point.
+	Point = geom.Point
+	// Rect is an axis-aligned rectangle.
+	Rect = geom.Rect
+	// Layout is a flat multi-layer layout with spatial indexing.
+	Layout = layout.Layout
+	// Layer is a GDSII layer number.
+	Layer = layout.Layer
+)
+
+// R constructs a normalized rectangle.
+func R(x0, y0, x1, y1 Coord) Rect { return geom.R(x0, y0, x1, y1) }
+
+// Pt constructs a point.
+func Pt(x, y Coord) Point { return geom.Pt(x, y) }
+
+// NewLayout creates an empty layout.
+func NewLayout(name string) *Layout { return layout.New(name) }
+
+// Clip types.
+type (
+	// Pattern is one layout clip: a window of geometry with a designated
+	// core region and an optional label.
+	Pattern = clip.Pattern
+	// Label classifies a pattern (Hotspot / NonHotspot).
+	Label = clip.Label
+	// ClipSpec fixes the clip geometry (core and clip side lengths).
+	ClipSpec = clip.Spec
+)
+
+// Pattern labels.
+const (
+	Hotspot    = clip.Hotspot
+	NonHotspot = clip.NonHotspot
+)
+
+// DefaultClipSpec is the ICCAD-2012 contest clip geometry: a 1.2 µm core
+// inside a 4.8 µm clip.
+var DefaultClipSpec = clip.DefaultSpec
+
+// Framework types.
+type (
+	// Config carries every tunable of the detection framework.
+	Config = core.Config
+	// Detector is a trained hotspot-detection model.
+	Detector = core.Detector
+	// Report is the outcome of evaluating a testing layout.
+	Report = core.Report
+	// Score grades a report against ground truth per the contest rules.
+	Score = core.Score
+)
+
+// DefaultConfig returns the paper's §V parameterization.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// BasicConfig returns the single-huge-kernel baseline configuration
+// (Table III "Basic").
+func BasicConfig() Config { return core.BasicConfig() }
+
+// Train builds a detector from a labelled training clip set.
+func Train(train []*Pattern, cfg Config) (*Detector, error) {
+	return core.Train(train, cfg)
+}
+
+// LoadModel restores a detector saved with Detector.Save.
+func LoadModel(r io.Reader) (*Detector, error) { return core.Load(r) }
+
+// Evaluate grades reported hotspot cores against ground-truth cores.
+func Evaluate(reported, truth []Rect, areaDBU2 int64, spec ClipSpec) Score {
+	return core.EvaluateReport(reported, truth, areaDBU2, spec)
+}
+
+// Benchmark types.
+type (
+	// Benchmark is a generated synthetic benchmark: training clips, a
+	// testing layout, and ground-truth hotspot cores.
+	Benchmark = iccad.Benchmark
+	// BenchmarkConfig parameterizes benchmark generation.
+	BenchmarkConfig = iccad.Config
+)
+
+// GenerateBenchmark builds a benchmark deterministically.
+func GenerateBenchmark(cfg BenchmarkConfig) *Benchmark { return iccad.Generate(cfg) }
+
+// BenchmarkSuite lists the six ICCAD-2012-style benchmark configurations.
+func BenchmarkSuite() []BenchmarkConfig {
+	out := make([]BenchmarkConfig, len(iccad.Suite))
+	copy(out, iccad.Suite)
+	return out
+}

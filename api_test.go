@@ -1,0 +1,71 @@
+package hotspot_test
+
+import (
+	"bytes"
+	"testing"
+
+	"hotspot"
+)
+
+// TestPublicAPIEndToEnd exercises the façade exactly the way a downstream
+// user would: generate, train, save/load, detect, score.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	bench := hotspot.GenerateBenchmark(hotspot.BenchmarkConfig{
+		Name: "api_test", Process: "32nm",
+		W: 60000, H: 60000,
+		TestHS: 10, TrainHS: 30, TrainNHS: 120,
+		FillFactor: 0.5, Seed: 23, Workers: 8,
+	})
+	if bench.Stats().TestHS != 10 {
+		t.Fatalf("stats: %+v", bench.Stats())
+	}
+
+	det, err := hotspot.Train(bench.Train, hotspot.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := hotspot.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := loaded.Detect(bench.Test)
+	score := hotspot.Evaluate(rep.Hotspots, bench.TruthCores, bench.Test.Area(), bench.Spec)
+	t.Logf("public API: %s", score)
+	if score.Actual != 10 {
+		t.Fatalf("actual hotspots: %d", score.Actual)
+	}
+	if score.Hits < score.Actual/2 {
+		t.Fatalf("hit rate collapsed through the façade: %+v", score)
+	}
+}
+
+func TestPublicAPITypes(t *testing.T) {
+	r := hotspot.R(0, 0, 1200, 1200)
+	if r.Area() != 1200*1200 {
+		t.Fatalf("area: %d", r.Area())
+	}
+	l := hotspot.NewLayout("t")
+	l.AddRect(1, r)
+	if l.NumRects() != 1 {
+		t.Fatal("layout add failed")
+	}
+	if hotspot.DefaultClipSpec.Ambit() != 1800 {
+		t.Fatalf("ambit: %d", hotspot.DefaultClipSpec.Ambit())
+	}
+	p := &hotspot.Pattern{
+		Window: hotspot.R(0, 0, 4800, 4800),
+		Core:   hotspot.R(1800, 1800, 3000, 3000),
+		Label:  hotspot.Hotspot,
+	}
+	if p.Label != hotspot.Hotspot {
+		t.Fatal("label")
+	}
+	if len(hotspot.BenchmarkSuite()) != 6 {
+		t.Fatal("suite size")
+	}
+}

@@ -1,0 +1,279 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hotspot/internal/bundle"
+	"hotspot/internal/clip"
+	"hotspot/internal/core"
+	"hotspot/internal/experiments"
+	"hotspot/internal/gds"
+	"hotspot/internal/iccad"
+)
+
+func generate(name string, scale float64, workers int) (*iccad.Benchmark, error) {
+	cfg, ok := iccad.ConfigByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown benchmark %q", name)
+	}
+	cfg.Scale = scale
+	cfg.Workers = workers
+	return iccad.Generate(cfg), nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	name, scale, workers := benchFlags(fs)
+	out := fs.String("out", "", "output GDSII path (default <bench>.gds)")
+	trainOut := fs.String("train", "", "also write the labelled training clip set as JSON")
+	bundleDir := fs.String("bundle", "", "write a full bundle directory (layout + train + truth + meta)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := generate(*name, *scale, *workers)
+	if err != nil {
+		return err
+	}
+	if *bundleDir != "" {
+		if err := bundle.Save(*bundleDir, b); err != nil {
+			return err
+		}
+		fmt.Printf("wrote bundle %s: %d rects, %d training clips, %d truth cores\n",
+			*bundleDir, b.Test.NumRects(), len(b.Train), len(b.TruthCores))
+		if *out == "" && *trainOut == "" {
+			return nil
+		}
+	}
+	path := *out
+	if path == "" {
+		path = *name + ".gds"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	lib := b.Test.ToGDS("TOP")
+	if err := lib.Write(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d rectangles, %d ground-truth hotspots\n",
+		path, b.Test.NumRects(), len(b.TruthCores))
+	if *trainOut != "" {
+		tf, err := os.Create(*trainOut)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		if err := clip.WriteSet(tf, b.Train); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d training clips\n", *trainOut, len(b.Train))
+	}
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	name, scale, workers := benchFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := generate(*name, *scale, *workers)
+	if err != nil {
+		return err
+	}
+	fmt.Println(b.Stats())
+	return nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	name, scale, workers := benchFlags(fs)
+	out := fs.String("out", "model.json", "output model path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := generate(*name, *scale, *workers)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig()
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+	t0 := time.Now()
+	det, err := core.Train(b.Train, cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := det.Save(f); err != nil {
+		return err
+	}
+	st := det.Stats()
+	fmt.Printf("trained %d kernels in %s (hs clusters %d, nhs centroids %d); model written to %s\n",
+		det.NumKernels(), time.Since(t0).Round(time.Millisecond),
+		st.HotspotClusters, st.NonHotspotCentroids, *out)
+	return nil
+}
+
+func cmdDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	name, scale, workers := benchFlags(fs)
+	basic := fs.Bool("basic", false, "use the single-huge-kernel Basic baseline")
+	bias := fs.Float64("bias", 0, "decision-threshold bias (ours_med ~ 0.35, ours_low ~ 0.8)")
+	serial := fs.Bool("nopara", false, "disable multithreading (ours_nopara)")
+	model := fs.String("model", "", "load a saved model instead of training")
+	bundleDir := fs.String("bundle", "", "evaluate a bundle directory instead of a generated benchmark")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var b *iccad.Benchmark
+	if *bundleDir != "" {
+		bd, err := bundle.Load(*bundleDir)
+		if err != nil {
+			return err
+		}
+		b = &iccad.Benchmark{
+			Name:       bd.Meta.Name,
+			Process:    bd.Meta.Process,
+			Spec:       bd.Spec(),
+			Layer:      bd.Meta.Layer,
+			Train:      bd.Train,
+			Test:       bd.Test,
+			TruthCores: bd.Truth,
+		}
+	} else {
+		var err error
+		b, err = generate(*name, *scale, *workers)
+		if err != nil {
+			return err
+		}
+	}
+	cfg := core.DefaultConfig()
+	if *basic {
+		cfg = core.BasicConfig()
+	}
+	cfg.Bias = *bias
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+	if *serial {
+		cfg.Workers = 1
+	}
+	t0 := time.Now()
+	var det *core.Detector
+	if *model != "" {
+		f, err := os.Open(*model)
+		if err != nil {
+			return err
+		}
+		det, err = core.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		det.SetBias(*bias)
+		if *serial {
+			det.SetWorkers(1)
+		}
+	} else {
+		trained, err := core.Train(b.Train, cfg)
+		if err != nil {
+			return err
+		}
+		det = trained
+	}
+	trainDur := time.Since(t0)
+	rep := det.Detect(b.Test)
+	score := core.EvaluateReport(rep.Hotspots, b.TruthCores, b.Test.Area(), b.Spec)
+	score.Runtime = trainDur + rep.Runtime
+	st := det.Stats()
+	fmt.Printf("%s: %s\n", b.Name, score)
+	fmt.Printf("  kernels=%d hs-clusters=%d nhs-centroids=%d feedback-extras=%d\n",
+		det.NumKernels(), st.HotspotClusters, st.NonHotspotCentroids, st.FeedbackExtras)
+	fmt.Printf("  candidates=%d flagged=%d reclaimed=%d train=%s eval=%s\n",
+		rep.Candidates, rep.Flagged, rep.Reclaimed,
+		trainDur.Round(time.Millisecond), rep.Runtime.Round(time.Millisecond))
+	return nil
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	table := fs.Int("table", 0, "regenerate Table 1..5")
+	fig := fs.Int("fig", 0, "regenerate Fig 15")
+	ablations := fs.Bool("ablations", false, "run the design-choice ablations")
+	report := fs.String("report", "", "run everything and write a markdown report")
+	scale := fs.Float64("scale", 0.25, "linear benchmark scale (1 = paper-sized)")
+	workers := fs.Int("workers", 0, "parallel workers (0 = all CPUs)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s := experiments.NewSuite(experiments.Options{Scale: *scale, Workers: *workers})
+	switch {
+	case *table == 1:
+		return s.WriteTable1(os.Stdout)
+	case *table == 2:
+		return s.WriteTable2(os.Stdout)
+	case *table == 3:
+		return s.WriteTable3(os.Stdout)
+	case *table == 4:
+		return s.WriteTable4(os.Stdout)
+	case *table == 5:
+		return s.WriteTable5(os.Stdout)
+	case *fig == 15:
+		return s.WriteFig15(os.Stdout, nil)
+	case *report != "":
+		f, err := os.Create(*report)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := s.WriteMarkdownReport(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *report)
+		return nil
+	case *ablations:
+		return s.WriteAblations(os.Stdout)
+	default:
+		return fmt.Errorf("specify -table 1..5, -fig 15, -ablations, or -report FILE")
+	}
+}
+
+func cmdGDSInfo(args []string) error {
+	fs := flag.NewFlagSet("gdsinfo", flag.ExitOnError)
+	dump := fs.Bool("dump", false, "dump the full record stream as text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: hotspot gdsinfo [-dump] FILE")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if *dump {
+		return gds.Dump(f, os.Stdout)
+	}
+	lib, err := gds.Parse(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("library %q (1 dbu = %.3g m)\n", lib.Name, lib.MeterUnit)
+	for _, s := range lib.Structures {
+		fmt.Printf("  structure %q: %d boundaries, %d paths, %d srefs, %d arefs\n",
+			s.Name, len(s.Boundaries), len(s.Paths), len(s.SRefs), len(s.ARefs))
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"hotspot/internal/drc"
+	"hotspot/internal/geom"
+)
+
+// cmdDRC generates a benchmark and runs the rule deck over its layout in
+// clip-sized windows, reporting violations.
+func cmdDRC(args []string) error {
+	fs := flag.NewFlagSet("drc", flag.ExitOnError)
+	name, scale, workers := benchFlags(fs)
+	minW := fs.Int("minwidth", 60, "minimum width rule in nm")
+	minS := fs.Int("minspace", 60, "minimum spacing rule in nm")
+	limit := fs.Int("limit", 20, "report at most N violations")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := generate(*name, *scale, *workers)
+	if err != nil {
+		return err
+	}
+	rules := drc.Rules{MinWidth: geom.Coord(*minW), MinSpace: geom.Coord(*minS)}
+	const step = 4000
+	total := 0
+	for y := b.Test.Bounds.Y0; y < b.Test.Bounds.Y1; y += step {
+		for x := b.Test.Bounds.X0; x < b.Test.Bounds.X1; x += step {
+			w := geom.R(x, y, x+step+400, y+step+400) // overlap so window seams are covered
+			for _, v := range drc.CheckRegion(b.Test, b.Layer, w, rules) {
+				total++
+				if total <= *limit {
+					fmt.Println(" ", v)
+				}
+			}
+		}
+	}
+	fmt.Printf("%s: %d violations (minwidth=%d minspace=%d)\n", b.Name, total, *minW, *minS)
+	return nil
+}

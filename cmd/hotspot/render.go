@@ -1,0 +1,72 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hotspot/internal/core"
+	"hotspot/internal/litho"
+	"hotspot/internal/render"
+)
+
+// cmdRender generates a benchmark, runs detection, and writes an SVG
+// overlaying ground truth (green) and reports (amber hits / red extras),
+// plus optionally an aerial-image heatmap of a window.
+func cmdRender(args []string) error {
+	fs := flag.NewFlagSet("render", flag.ExitOnError)
+	name, scale, workers := benchFlags(fs)
+	out := fs.String("out", "detect.svg", "output SVG path")
+	heat := fs.String("heatmap", "", "also write an aerial-image PNG of the first truth core's window")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := generate(*name, *scale, *workers)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig()
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+	det, err := core.Train(b.Train, cfg)
+	if err != nil {
+		return err
+	}
+	rep := det.Detect(b.Test)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := render.SVG(f, b.Test, render.Options{
+		Layer:    b.Layer,
+		Truth:    b.TruthCores,
+		Reported: rep.Hotspots,
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d truth cores, %d reported\n", *out, len(b.TruthCores), len(rep.Hotspots))
+
+	if *heat != "" {
+		if len(b.TruthCores) == 0 {
+			return fmt.Errorf("no truth cores to render a heatmap for")
+		}
+		region := b.TruthCores[0].Expand(600)
+		drawn := b.Test.QueryClipped(b.Layer, region.Expand(litho.Default.Margin), nil)
+		img := litho.NewImage(region.Expand(litho.Default.Margin), litho.Default.PixelNM)
+		img.Rasterize(drawn)
+		aerial := img.Blur(litho.Default.SigmaNM)
+		hf, err := os.Create(*heat)
+		if err != nil {
+			return err
+		}
+		defer hf.Close()
+		if err := render.HeatmapPNG(hf, aerial, litho.Default.Threshold); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: aerial image around %v\n", *heat, b.TruthCores[0])
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+// Doublepattern demonstrates the §IV-B extension: feature sets extracted
+// per decomposition mask (with mask marks) plus the combined pattern, used
+// to classify decompositions whose mask-2 spacing makes them hotspot-prone
+// even when the combined pattern looks identical.
+//
+//	go run ./examples/doublepattern
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hotspot/internal/features"
+	"hotspot/internal/geom"
+	"hotspot/internal/svm"
+)
+
+const window = 1200
+
+// decomposition colours a three-bar pattern onto two masks. The risky
+// decomposition puts two adjacent bars on the same mask (tight same-mask
+// spacing, Fig. 14's higher-risk split); the safe one alternates.
+func decomposition(rng *rand.Rand, risky bool) (m1, m2 []geom.Rect, label int) {
+	pitch := geom.Coord(220 + rng.Intn(40))
+	w := geom.Coord(100)
+	bars := []geom.Rect{}
+	for i := 0; i < 3; i++ {
+		x := 300 + geom.Coord(i)*pitch
+		bars = append(bars, geom.R(x, 100, x+w, window-100))
+	}
+	if risky {
+		// Bars 0 and 1 share mask 1: same-mask spacing = pitch - w.
+		return []geom.Rect{bars[0], bars[1]}, []geom.Rect{bars[2]}, +1
+	}
+	// Alternating: same-mask spacing = 2*pitch - w.
+	return []geom.Rect{bars[0], bars[2]}, []geom.Rect{bars[1]}, -1
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(2))
+	win := geom.R(0, 0, window, window)
+
+	var rows [][]float64
+	var labels []int
+	for i := 0; i < 100; i++ {
+		m1, m2, label := decomposition(rng, i%2 == 0)
+		set := features.ExtractDoublePattern(m1, m2, win)
+		rows = append(rows, set.Vector(6))
+		labels = append(labels, label)
+	}
+	scaler := svm.FitScaler(rows)
+	model, err := svm.Train(scaler.ApplyAll(rows), labels, svm.Params{C: 100, Gamma: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	correct, total := 0, 0
+	for i := 0; i < 200; i++ {
+		m1, m2, label := decomposition(rng, i%3 == 0)
+		set := features.ExtractDoublePattern(m1, m2, win)
+		if model.Predict(scaler.Apply(set.Vector(6))) == label {
+			correct++
+		}
+		total++
+	}
+	fmt.Println("double patterning: per-mask feature sets carry mask marks;")
+	fmt.Println("the combined pattern is identical for both decompositions.")
+	fmt.Printf("held-out accuracy on risky decompositions: %.1f%% (%d/%d)\n",
+		100*float64(correct)/float64(total), correct, total)
+}

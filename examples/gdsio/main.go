@@ -1,0 +1,64 @@
+// Gdsio demonstrates the GDSII substrate: a generated benchmark layout is
+// written as a GDSII stream, parsed back, flattened, and compared.
+//
+//	go run ./examples/gdsio
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"hotspot/internal/gds"
+	"hotspot/internal/iccad"
+	"hotspot/internal/layout"
+)
+
+func main() {
+	bench := iccad.Generate(iccad.Config{
+		Name: "gdsio", Process: "32nm",
+		W: 30000, H: 30000,
+		TestHS: 4, TrainHS: 4, TrainNHS: 16,
+		FillFactor: 0.5, Seed: 5,
+	})
+	path := filepath.Join(os.TempDir(), "hotspot_gdsio_example.gds")
+
+	// Write.
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib := bench.Test.ToGDS("TOP")
+	if err := lib.Write(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("wrote %s (%d bytes, %d rectangles)\n", path, info.Size(), bench.Test.NumRects())
+
+	// Read back and flatten.
+	g, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer g.Close()
+	parsed, err := gds.Parse(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	back, err := layout.FromGDS(parsed, "TOP")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parsed library %q: %d structures\n", parsed.Name, len(parsed.Structures))
+	fmt.Printf("round trip: %d rectangles, layer-1 area %d um^2 (original %d um^2)\n",
+		back.NumRects(), back.PolygonArea(1)/1e6, bench.Test.PolygonArea(1)/1e6)
+	if back.PolygonArea(1) != bench.Test.PolygonArea(1) {
+		log.Fatal("area mismatch after round trip")
+	}
+	fmt.Println("round trip exact: OK")
+	os.Remove(path)
+}

@@ -1,0 +1,70 @@
+// Multilayer demonstrates the §IV-A extension: hotspot features extracted
+// from two metal layers plus their overlap, fed to an SVM that separates
+// via-misalignment-style hotspots that neither single layer reveals.
+//
+//	go run ./examples/multilayer
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hotspot/internal/features"
+	"hotspot/internal/geom"
+	"hotspot/internal/svm"
+)
+
+const window = 1200
+
+// sample builds a two-layer pattern: metal1 carries a horizontal bar,
+// metal2 a vertical bar. The overlap (the via landing zone) shrinks with
+// the misalignment parameter; small overlaps are the hotspot class.
+func sample(rng *rand.Rand, hotspot bool) ([][]geom.Rect, int) {
+	var offset geom.Coord
+	if hotspot {
+		offset = geom.Coord(140 + rng.Intn(60)) // landing almost gone
+	} else {
+		offset = geom.Coord(rng.Intn(60)) // healthy overlap
+	}
+	m1 := []geom.Rect{geom.R(0, 500, window, 700)}
+	m2 := []geom.Rect{geom.R(500+offset, 0, 700+offset, window)}
+	label := -1
+	if hotspot {
+		label = +1
+	}
+	return [][]geom.Rect{m1, m2}, label
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(1))
+	win := geom.R(0, 0, window, window)
+
+	var rows [][]float64
+	var labels []int
+	for i := 0; i < 120; i++ {
+		layers, label := sample(rng, i%2 == 0)
+		set := features.ExtractMultiLayer(layers, win)
+		rows = append(rows, set.Vector(win, 6))
+		labels = append(labels, label)
+	}
+	scaler := svm.FitScaler(rows)
+	model, err := svm.Train(scaler.ApplyAll(rows), labels, svm.Params{C: 100, Gamma: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	correct, total := 0, 0
+	for i := 0; i < 200; i++ {
+		layers, label := sample(rng, i%2 == 0)
+		set := features.ExtractMultiLayer(layers, win)
+		x := scaler.Apply(set.Vector(win, 6))
+		if model.Predict(x) == label {
+			correct++
+		}
+		total++
+	}
+	fmt.Printf("multilayer features: %d per-layer sets + %d overlap set per pattern\n", 2, 1)
+	fmt.Printf("held-out accuracy on via-misalignment hotspots: %.1f%% (%d/%d)\n",
+		100*float64(correct)/float64(total), correct, total)
+}

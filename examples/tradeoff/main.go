@@ -1,0 +1,33 @@
+// Tradeoff sweeps the detector's decision bias and prints the Fig. 15
+// accuracy / false-alarm curve as CSV.
+//
+//	go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hotspot/internal/core"
+	"hotspot/internal/iccad"
+)
+
+func main() {
+	bench := iccad.Generate(iccad.Config{
+		Name: "tradeoff", Process: "28nm",
+		W: 60000, H: 60000,
+		TestHS: 20, TrainHS: 40, TrainNHS: 160,
+		FillFactor: 0.5, Seed: 3,
+	})
+	det, err := core.Train(bench.Train, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bias,hit_rate,hits,extras")
+	for _, bias := range []float64{-0.4, -0.2, 0, 0.2, 0.4, 0.6, 0.9, 1.3} {
+		det.SetBias(bias)
+		rep := det.Detect(bench.Test)
+		s := core.EvaluateReport(rep.Hotspots, bench.TruthCores, bench.Test.Area(), bench.Spec)
+		fmt.Printf("%.2f,%.4f,%d,%d\n", bias, s.Accuracy, s.Hits, s.Extras)
+	}
+}

@@ -1,0 +1,185 @@
+// Package bundle reads and writes benchmark bundles: a directory holding a
+// testing layout (GDSII), a labelled training clip set (JSON), and
+// optional ground-truth hotspot cores (JSON). Bundles decouple generation
+// from detection — and let users run the detector on their own data by
+// providing the same three files.
+package bundle
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hotspot/internal/clip"
+	"hotspot/internal/gds"
+	"hotspot/internal/geom"
+	"hotspot/internal/iccad"
+	"hotspot/internal/layout"
+)
+
+// File names inside a bundle directory.
+const (
+	LayoutFile = "layout.gds"
+	TrainFile  = "train.json"
+	TruthFile  = "truth.json"
+	MetaFile   = "meta.json"
+)
+
+// Meta describes a bundle.
+type Meta struct {
+	Name    string `json:"name"`
+	Process string `json:"process"`
+	// TopCell is the GDSII structure to flatten.
+	TopCell string `json:"top_cell"`
+	// Layer is the metal layer under test.
+	Layer layout.Layer `json:"layer"`
+	// CoreSide and ClipSide fix the clip geometry in dbu.
+	CoreSide geom.Coord `json:"core_side"`
+	ClipSide geom.Coord `json:"clip_side"`
+}
+
+// Bundle is a loaded benchmark bundle.
+type Bundle struct {
+	Meta  Meta
+	Train []*clip.Pattern
+	Test  *layout.Layout
+	// Truth is nil when the bundle ships no ground truth.
+	Truth []geom.Rect
+}
+
+// Spec returns the bundle's clip spec.
+func (b *Bundle) Spec() clip.Spec {
+	return clip.Spec{CoreSide: b.Meta.CoreSide, ClipSide: b.Meta.ClipSide}
+}
+
+// Save writes a generated benchmark as a bundle directory.
+func Save(dir string, b *iccad.Benchmark) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	meta := Meta{
+		Name:     b.Name,
+		Process:  b.Process,
+		TopCell:  "TOP",
+		Layer:    b.Layer,
+		CoreSide: b.Spec.CoreSide,
+		ClipSide: b.Spec.ClipSide,
+	}
+	if err := writeJSON(filepath.Join(dir, MetaFile), meta); err != nil {
+		return err
+	}
+	lf, err := os.Create(filepath.Join(dir, LayoutFile))
+	if err != nil {
+		return err
+	}
+	defer lf.Close()
+	if err := b.Test.ToGDS(meta.TopCell).Write(lf); err != nil {
+		return err
+	}
+	tf, err := os.Create(filepath.Join(dir, TrainFile))
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	if err := clip.WriteSet(tf, b.Train); err != nil {
+		return err
+	}
+	return writeJSON(filepath.Join(dir, TruthFile), packRects(b.TruthCores))
+}
+
+// Load reads a bundle directory. TruthFile is optional.
+func Load(dir string) (*Bundle, error) {
+	var meta Meta
+	if err := readJSON(filepath.Join(dir, MetaFile), &meta); err != nil {
+		return nil, err
+	}
+	if meta.CoreSide <= 0 || meta.ClipSide < meta.CoreSide {
+		return nil, fmt.Errorf("bundle: invalid clip geometry %d/%d", meta.CoreSide, meta.ClipSide)
+	}
+	lf, err := os.Open(filepath.Join(dir, LayoutFile))
+	if err != nil {
+		return nil, err
+	}
+	defer lf.Close()
+	lib, err := gds.Parse(lf)
+	if err != nil {
+		return nil, fmt.Errorf("bundle: parsing %s: %w", LayoutFile, err)
+	}
+	top := meta.TopCell
+	if top == "" && len(lib.Structures) > 0 {
+		top = lib.Structures[0].Name
+	}
+	test, err := layout.FromGDS(lib, top)
+	if err != nil {
+		return nil, err
+	}
+	tf, err := os.Open(filepath.Join(dir, TrainFile))
+	if err != nil {
+		return nil, err
+	}
+	defer tf.Close()
+	train, err := clip.ReadSet(tf)
+	if err != nil {
+		return nil, err
+	}
+	out := &Bundle{Meta: meta, Train: train, Test: test}
+	var packed [][4]geom.Coord
+	if err := readJSON(filepath.Join(dir, TruthFile), &packed); err == nil {
+		out.Truth = unpackRects(packed)
+	} else if !os.IsNotExist(underlying(err)) {
+		return nil, err
+	}
+	return out, nil
+}
+
+func underlying(err error) error {
+	type unwrapper interface{ Unwrap() error }
+	for {
+		u, ok := err.(unwrapper)
+		if !ok {
+			return err
+		}
+		inner := u.Unwrap()
+		if inner == nil {
+			return err
+		}
+		err = inner
+	}
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	return enc.Encode(v)
+}
+
+func readJSON(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("bundle: %w", err)
+	}
+	defer f.Close()
+	return json.NewDecoder(f).Decode(v)
+}
+
+func packRects(rs []geom.Rect) [][4]geom.Coord {
+	out := make([][4]geom.Coord, len(rs))
+	for i, r := range rs {
+		out[i] = [4]geom.Coord{r.X0, r.Y0, r.X1, r.Y1}
+	}
+	return out
+}
+
+func unpackRects(v [][4]geom.Coord) []geom.Rect {
+	out := make([]geom.Rect, len(v))
+	for i, p := range v {
+		out[i] = geom.Rect{X0: p[0], Y0: p[1], X1: p[2], Y1: p[3]}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package bundle
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hotspot/internal/iccad"
+)
+
+func genSmall(t *testing.T) *iccad.Benchmark {
+	t.Helper()
+	return iccad.Generate(iccad.Config{
+		Name: "bundle_test", Process: "32nm",
+		W: 30000, H: 30000,
+		TestHS: 4, TrainHS: 6, TrainNHS: 24,
+		FillFactor: 0.5, Seed: 13, Workers: 8,
+	})
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	b := genSmall(t)
+	dir := t.TempDir()
+	if err := Save(dir, b); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{LayoutFile, TrainFile, TruthFile, MetaFile} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Meta.Name != b.Name || loaded.Meta.Process != b.Process {
+		t.Fatalf("meta: %+v", loaded.Meta)
+	}
+	if loaded.Spec() != b.Spec {
+		t.Fatalf("spec: %+v", loaded.Spec())
+	}
+	if len(loaded.Train) != len(b.Train) {
+		t.Fatalf("train: %d vs %d", len(loaded.Train), len(b.Train))
+	}
+	for i := range b.Train {
+		if loaded.Train[i].Label != b.Train[i].Label {
+			t.Fatalf("train %d label differs", i)
+		}
+	}
+	if len(loaded.Truth) != len(b.TruthCores) {
+		t.Fatalf("truth: %d vs %d", len(loaded.Truth), len(b.TruthCores))
+	}
+	for i := range b.TruthCores {
+		if loaded.Truth[i] != b.TruthCores[i] {
+			t.Fatalf("truth %d differs", i)
+		}
+	}
+	if loaded.Test.PolygonArea(b.Layer) != b.Test.PolygonArea(b.Layer) {
+		t.Fatal("layout area differs after round trip")
+	}
+}
+
+func TestBundleTruthOptional(t *testing.T) {
+	b := genSmall(t)
+	dir := t.TempDir()
+	if err := Save(dir, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, TruthFile)); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Truth != nil {
+		t.Fatal("truth must be nil when absent")
+	}
+}
+
+func TestBundleLoadErrors(t *testing.T) {
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Fatal("empty dir must fail")
+	}
+	// Corrupt meta.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, MetaFile), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("corrupt meta must fail")
+	}
+	// Valid meta, missing layout.
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, MetaFile),
+		[]byte(`{"name":"x","top_cell":"TOP","layer":1,"core_side":1200,"clip_side":4800}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir2); err == nil {
+		t.Fatal("missing layout must fail")
+	}
+	// Bad geometry in meta.
+	dir3 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir3, MetaFile),
+		[]byte(`{"name":"x","core_side":0,"clip_side":100}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir3); err == nil {
+		t.Fatal("bad geometry must fail")
+	}
+}

@@ -1,0 +1,160 @@
+// Package clip defines the layout-clip model of the ICCAD-2012 contest
+// formulation (a core window carrying the significant pattern plus an ambit
+// ring of context) and implements the paper's density-based layout clip
+// extraction (§III-E) together with the window-sliding baseline it is
+// compared against (Table V).
+package clip
+
+import (
+	"fmt"
+
+	"hotspot/internal/geom"
+	"hotspot/internal/layout"
+)
+
+// Label classifies a training pattern.
+type Label int8
+
+// Pattern labels.
+const (
+	NonHotspot Label = -1
+	Hotspot    Label = +1
+)
+
+// String implements fmt.Stringer.
+func (l Label) String() string {
+	if l == Hotspot {
+		return "hotspot"
+	}
+	return "non-hotspot"
+}
+
+// Spec fixes the clip geometry. The contest uses a 1.2 x 1.2 um core inside
+// a 4.8 x 4.8 um clip.
+type Spec struct {
+	// CoreSide is the side length of the core window in dbu.
+	CoreSide geom.Coord
+	// ClipSide is the side length of the full clip window in dbu.
+	ClipSide geom.Coord
+}
+
+// DefaultSpec is the ICCAD-2012 contest clip geometry (dbu = nm).
+var DefaultSpec = Spec{CoreSide: 1200, ClipSide: 4800}
+
+// Ambit returns the width of the ambit ring around the core.
+func (s Spec) Ambit() geom.Coord { return (s.ClipSide - s.CoreSide) / 2 }
+
+// Validate checks the spec is usable.
+func (s Spec) Validate() error {
+	if s.CoreSide <= 0 || s.ClipSide < s.CoreSide {
+		return fmt.Errorf("clip: invalid spec %+v", s)
+	}
+	if (s.ClipSide-s.CoreSide)%2 != 0 {
+		return fmt.Errorf("clip: ambit not integral for spec %+v", s)
+	}
+	return nil
+}
+
+// WindowFor returns the clip window whose core's bottom-left corner is at p.
+func (s Spec) WindowFor(p geom.Point) geom.Rect {
+	a := s.Ambit()
+	return geom.Rect{
+		X0: p.X - a, Y0: p.Y - a,
+		X1: p.X + s.CoreSide + a, Y1: p.Y + s.CoreSide + a,
+	}
+}
+
+// CoreFor returns the core window whose bottom-left corner is at p.
+func (s Spec) CoreFor(p geom.Point) geom.Rect {
+	return geom.Rect{X0: p.X, Y0: p.Y, X1: p.X + s.CoreSide, Y1: p.Y + s.CoreSide}
+}
+
+// Pattern is one layout clip: a window of geometry with a designated core.
+// Training patterns carry a label; extracted evaluation clips carry
+// Label == 0 until classified.
+type Pattern struct {
+	// Window is the clip extent in layout coordinates.
+	Window geom.Rect
+	// Core is the central core region.
+	Core geom.Rect
+	// Rects is the layer geometry clipped to Window, in layout coordinates.
+	Rects []geom.Rect
+	// Label is the known or predicted class.
+	Label Label
+}
+
+// CoreRects returns the geometry clipped to the core region.
+func (p *Pattern) CoreRects() []geom.Rect {
+	var out []geom.Rect
+	for _, r := range p.Rects {
+		c := r.Intersect(p.Core)
+		if !c.Empty() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Normalized returns a copy of the pattern translated so that the window's
+// bottom-left corner is the origin.
+func (p *Pattern) Normalized() *Pattern {
+	dx, dy := -p.Window.X0, -p.Window.Y0
+	out := &Pattern{
+		Window: p.Window.Translate(dx, dy),
+		Core:   p.Core.Translate(dx, dy),
+		Rects:  make([]geom.Rect, len(p.Rects)),
+		Label:  p.Label,
+	}
+	for i, r := range p.Rects {
+		out.Rects[i] = r.Translate(dx, dy)
+	}
+	return out
+}
+
+// Shifted returns a copy of the pattern whose core is moved by (dx, dy)
+// while the geometry stays put — the data-shifting upsampling of §III-D3.
+// The window moves with the core; geometry is re-clipped to the new window.
+func (p *Pattern) Shifted(dx, dy geom.Coord, all []geom.Rect) *Pattern {
+	out := &Pattern{
+		Window: p.Window.Translate(dx, dy),
+		Core:   p.Core.Translate(dx, dy),
+		Label:  p.Label,
+	}
+	src := all
+	if src == nil {
+		src = p.Rects
+	}
+	for _, r := range src {
+		c := r.Intersect(out.Window)
+		if !c.Empty() {
+			out.Rects = append(out.Rects, c)
+		}
+	}
+	return out
+}
+
+// Density returns the fraction of the core area covered by geometry.
+func (p *Pattern) Density() float64 {
+	if p.Core.Empty() {
+		return 0
+	}
+	var clipped []geom.Rect
+	for _, r := range p.Rects {
+		c := r.Intersect(p.Core)
+		if !c.Empty() {
+			clipped = append(clipped, c)
+		}
+	}
+	return float64(geom.TotalArea(clipped)) / float64(p.Core.Area())
+}
+
+// FromLayout materializes a pattern at core origin p from layout geometry.
+func FromLayout(l *layout.Layout, layer layout.Layer, spec Spec, at geom.Point, label Label) *Pattern {
+	window := spec.WindowFor(at)
+	return &Pattern{
+		Window: window,
+		Core:   spec.CoreFor(at),
+		Rects:  l.QueryClipped(layer, window, nil),
+		Label:  label,
+	}
+}

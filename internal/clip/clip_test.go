@@ -1,0 +1,271 @@
+package clip
+
+import (
+	"testing"
+
+	"hotspot/internal/geom"
+	"hotspot/internal/layout"
+)
+
+func TestSpec(t *testing.T) {
+	if err := DefaultSpec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if DefaultSpec.Ambit() != 1800 {
+		t.Fatalf("ambit: %d", DefaultSpec.Ambit())
+	}
+	if err := (Spec{CoreSide: 0, ClipSide: 100}).Validate(); err == nil {
+		t.Fatal("zero core must fail")
+	}
+	if err := (Spec{CoreSide: 200, ClipSide: 100}).Validate(); err == nil {
+		t.Fatal("clip smaller than core must fail")
+	}
+	if err := (Spec{CoreSide: 100, ClipSide: 201}).Validate(); err == nil {
+		t.Fatal("odd ambit must fail")
+	}
+	w := DefaultSpec.WindowFor(geom.Pt(10000, 20000))
+	if w != geom.R(8200, 18200, 13000, 23000) {
+		t.Fatalf("window: %v", w)
+	}
+	c := DefaultSpec.CoreFor(geom.Pt(10000, 20000))
+	if c != geom.R(10000, 20000, 11200, 21200) {
+		t.Fatalf("core: %v", c)
+	}
+	if !w.ContainsRect(c) {
+		t.Fatal("window must contain core")
+	}
+}
+
+func TestPatternNormalizeAndDensity(t *testing.T) {
+	p := &Pattern{
+		Window: geom.R(1000, 1000, 5800, 5800),
+		Core:   geom.R(2800, 2800, 4000, 4000),
+		Rects:  []geom.Rect{geom.R(2800, 2800, 3400, 4000)},
+		Label:  Hotspot,
+	}
+	n := p.Normalized()
+	if n.Window != geom.R(0, 0, 4800, 4800) {
+		t.Fatalf("normalized window: %v", n.Window)
+	}
+	if n.Core != geom.R(1800, 1800, 3000, 3000) {
+		t.Fatalf("normalized core: %v", n.Core)
+	}
+	if n.Rects[0] != geom.R(1800, 1800, 2400, 3000) {
+		t.Fatalf("normalized rect: %v", n.Rects[0])
+	}
+	if n.Label != Hotspot {
+		t.Fatal("label lost")
+	}
+	// Density: rect covers half the core.
+	if d := p.Density(); d != 0.5 {
+		t.Fatalf("density: %v", d)
+	}
+}
+
+func TestPatternShifted(t *testing.T) {
+	all := []geom.Rect{geom.R(0, 0, 10000, 100)}
+	p := &Pattern{
+		Window: geom.R(1000, -2400, 5800, 2400),
+		Core:   geom.R(2800, -600, 4000, 600),
+		Rects:  []geom.Rect{geom.R(1000, 0, 5800, 100)},
+	}
+	s := p.Shifted(120, 0, all)
+	if s.Core != geom.R(2920, -600, 4120, 600) {
+		t.Fatalf("shifted core: %v", s.Core)
+	}
+	if s.Window != geom.R(1120, -2400, 5920, 2400) {
+		t.Fatalf("shifted window: %v", s.Window)
+	}
+	if len(s.Rects) != 1 || s.Rects[0] != geom.R(1120, 0, 5920, 100) {
+		t.Fatalf("shifted rects: %v", s.Rects)
+	}
+}
+
+func TestCoreRects(t *testing.T) {
+	p := &Pattern{
+		Window: geom.R(0, 0, 4800, 4800),
+		Core:   geom.R(1800, 1800, 3000, 3000),
+		Rects:  []geom.Rect{geom.R(0, 2000, 4800, 2100), geom.R(0, 0, 100, 100)},
+	}
+	cr := p.CoreRects()
+	if len(cr) != 1 || cr[0] != geom.R(1800, 2000, 3000, 2100) {
+		t.Fatalf("core rects: %v", cr)
+	}
+}
+
+func TestDissect(t *testing.T) {
+	got := appendDissected(nil, geom.R(0, 0, 2500, 900), 1200)
+	// 3 x-pieces (1200, 1200, 100) x 1 y-piece.
+	if len(got) != 3 {
+		t.Fatalf("pieces: %v", got)
+	}
+	var area int64
+	for _, r := range got {
+		if r.W() > 1200 || r.H() > 1200 {
+			t.Fatalf("piece too large: %v", r)
+		}
+		area += r.Area()
+	}
+	if area != geom.R(0, 0, 2500, 900).Area() {
+		t.Fatalf("dissect area mismatch: %d", area)
+	}
+}
+
+func testLayout() *layout.Layout {
+	l := layout.New("t")
+	// A large block of parallel wires: interior clips see geometry near
+	// every clip border, so the border-distance requirement passes.
+	for i := 0; i < 42; i++ {
+		y := geom.Coord(6000 + i*240)
+		l.AddRect(1, geom.R(6000, y, 16000, y+100))
+	}
+	return l
+}
+
+func TestExtractFindsWirePatterns(t *testing.T) {
+	l := testLayout()
+	cands := Extract(l, 1, DefaultSpec, DefaultRequirements)
+	if len(cands) == 0 {
+		t.Fatal("no candidates extracted")
+	}
+	// Every candidate core must contain geometry.
+	for _, c := range cands {
+		core := DefaultSpec.CoreFor(c.At)
+		if len(l.QueryClipped(1, core, nil)) == 0 {
+			t.Fatalf("candidate %v has empty core", c.At)
+		}
+	}
+	// Every geometry rectangle of the wire block must be covered by at
+	// least one clip window (the paper's guarantee: if the distribution
+	// requirements are met, each polygon is included by at least one
+	// layout clip).
+	covered := 0
+	for i := 0; i < 42; i++ {
+		y := geom.Coord(6000 + i*240)
+		wire := geom.R(6000, y, 16000, y+100)
+		hit := false
+		for _, c := range cands {
+			if DefaultSpec.WindowFor(c.At).Overlaps(wire) {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			covered++
+		}
+	}
+	if covered != 42 {
+		t.Fatalf("only %d/42 wires covered by clips", covered)
+	}
+}
+
+func TestExtractDeduplicates(t *testing.T) {
+	l := layout.New("t")
+	// Two rectangles sharing a bottom-left corner after dissection.
+	l.AddRect(1, geom.R(0, 0, 600, 600))
+	l.AddRect(1, geom.R(0, 0, 300, 900))
+	cands := Extract(l, 1, DefaultSpec, Requirements{})
+	seen := map[geom.Point]int{}
+	for _, c := range cands {
+		seen[c.At]++
+		if seen[c.At] > 1 {
+			t.Fatalf("duplicate candidate at %v", c.At)
+		}
+	}
+}
+
+func TestExtractParallelMatchesSerial(t *testing.T) {
+	l := testLayout()
+	serial := Extract(l, 1, DefaultSpec, DefaultRequirements)
+	for _, workers := range []int{2, 4, 8} {
+		par := ExtractParallel(l, 1, DefaultSpec, DefaultRequirements, workers)
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d candidates vs %d serial", workers, len(par), len(serial))
+		}
+		for i := range par {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: candidate %d differs: %v vs %v", workers, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestRequirementsFilters(t *testing.T) {
+	l := layout.New("t")
+	l.AddRect(1, geom.R(0, 0, 50, 50)) // tiny spec of geometry
+	at := geom.Pt(0, 0)
+	// Density filter: 50x50 in a 1200x1200 core = 0.0017 < 0.02.
+	if MeetsRequirements(l, 1, DefaultSpec, at, DefaultRequirements) {
+		t.Fatal("sparse core must be rejected by density")
+	}
+	if !MeetsRequirements(l, 1, DefaultSpec, at, Requirements{MinPolyCount: 1}) {
+		t.Fatal("count-only requirement must pass")
+	}
+	if MeetsRequirements(l, 1, DefaultSpec, at, Requirements{MinPolyCount: 2}) {
+		t.Fatal("count filter must reject single rect")
+	}
+	// Border distance: the single rect is near the window center... its
+	// bounding box is far from the clip boundary, so a tight limit rejects.
+	if MeetsRequirements(l, 1, DefaultSpec, at, Requirements{MaxBorderDist: 100}) {
+		t.Fatal("border-distance filter must reject")
+	}
+	// Empty window under border check.
+	if MeetsRequirements(l, 1, DefaultSpec, geom.Pt(100000, 100000), Requirements{MaxBorderDist: 1440}) {
+		t.Fatal("empty clip must be rejected")
+	}
+}
+
+func TestWindowScanCountMatchesPaperFormula(t *testing.T) {
+	// Table V: Array_benchmark1 is 0.110mm x 0.115mm -> 34,953 clips at
+	// 50% overlap with a 1.2um window (183 * 191).
+	bounds := geom.R(0, 0, 110000, 115000)
+	if got := WindowScanCount(bounds, DefaultSpec, 0.5); got != 34953 {
+		t.Fatalf("window count: %d, want 34953", got)
+	}
+	// Array_benchmark5: 0.222mm x 0.222mm -> 136,900 (370^2).
+	bounds = geom.R(0, 0, 222000, 222000)
+	if got := WindowScanCount(bounds, DefaultSpec, 0.5); got != 136900 {
+		t.Fatalf("window count: %d, want 136900", got)
+	}
+}
+
+func TestWindowScanPositions(t *testing.T) {
+	bounds := geom.R(0, 0, 3000, 1800)
+	cands := WindowScan(bounds, DefaultSpec, 0.5)
+	for _, c := range cands {
+		core := DefaultSpec.CoreFor(c.At)
+		if !bounds.ContainsRect(core) {
+			t.Fatalf("core %v escapes bounds", core)
+		}
+	}
+	if len(cands) != 4*2 { // x: 0,600,1200,1800; y: 0,600
+		t.Fatalf("positions: %d", len(cands))
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	l := testLayout()
+	cands := Extract(l, 1, DefaultSpec, DefaultRequirements)
+	pats := Materialize(l, 1, DefaultSpec, cands[:3])
+	for i, p := range pats {
+		if p.Window != DefaultSpec.WindowFor(cands[i].At) {
+			t.Fatalf("pattern %d window mismatch", i)
+		}
+		if len(p.Rects) == 0 {
+			t.Fatalf("pattern %d has no geometry", i)
+		}
+		for _, r := range p.Rects {
+			if !p.Window.ContainsRect(r) {
+				t.Fatalf("pattern %d rect %v escapes window", i, r)
+			}
+		}
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	l := testLayout()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Extract(l, 1, DefaultSpec, DefaultRequirements)
+	}
+}

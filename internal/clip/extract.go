@@ -1,0 +1,286 @@
+package clip
+
+import (
+	"sort"
+	"sync"
+
+	"hotspot/internal/geom"
+	"hotspot/internal/layout"
+	"hotspot/internal/topo"
+)
+
+// Requirements are the user-specified polygon-distribution filters of
+// §III-E: a candidate clip is kept only when its polygon density, polygon
+// count, and boundary distances meet them.
+type Requirements struct {
+	// MinDensity is the minimum core polygon density.
+	MinDensity float64
+	// MaxDensity is the maximum core polygon density (<= 0 disables).
+	MaxDensity float64
+	// MinPolyCount is the minimum number of geometry rectangles in the core.
+	MinPolyCount int
+	// MaxBorderDist is the maximum allowed distance between the clip
+	// boundary and the bounding box of the geometry inside the clip
+	// (the four arrows of Fig. 11(b)); <= 0 disables the check.
+	MaxBorderDist geom.Coord
+	// SnapGrid deduplicates candidates that fall in the same
+	// SnapGrid x SnapGrid cell AND whose cores have the same canonical
+	// topology (the first such candidate in scan order wins). Dense wire
+	// arrays otherwise anchor one near-identical clip per dissected
+	// piece; snapping keeps one per local topology, so a motif anchored
+	// beside background routing is never merged into a routing clip.
+	// Every polygon remains covered by at least one clip window because
+	// the kept anchor is within SnapGrid (< core side) of each merged
+	// one. <= 0 disables.
+	SnapGrid geom.Coord
+}
+
+// DefaultRequirements mirrors the paper's §V parameters: a 1440 nm maximum
+// boundary distance and a non-empty core.
+var DefaultRequirements = Requirements{
+	MinDensity:    0.02,
+	MaxDensity:    0,
+	MinPolyCount:  1,
+	MaxBorderDist: 1440,
+	SnapGrid:      600, // half the core side
+}
+
+// Candidate is a clip position produced by extraction, before geometry
+// materialization.
+type Candidate struct {
+	// At is the core's bottom-left corner.
+	At geom.Point
+}
+
+// Extract runs the paper's density-based clip extraction over one layer:
+// every geometry rectangle is dissected into pieces no larger than the core
+// side; a candidate core is anchored at each piece's bottom-left corner; the
+// candidate is kept when the polygon distribution inside the clip meets the
+// requirements. Duplicate core positions are merged.
+func Extract(l *layout.Layout, layer layout.Layer, spec Spec, req Requirements) []Candidate {
+	pieces := DissectLayer(l, layer, spec.CoreSide)
+	seen := make(map[dedupKey]bool, len(pieces))
+	var out []Candidate
+	for _, piece := range pieces {
+		at := geom.Pt(piece.X0, piece.Y0)
+		if !MeetsRequirements(l, layer, spec, at, req) {
+			continue
+		}
+		key := candidateKey(l, layer, spec, at, req)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, Candidate{At: at})
+	}
+	sortCandidates(out)
+	return out
+}
+
+// dedupKey identifies a (snap cell, core topology) equivalence class.
+type dedupKey struct {
+	cell geom.Point
+	topo string
+}
+
+// candidateKey computes a candidate's dedup key. With SnapGrid disabled
+// the key is the exact anchor.
+func candidateKey(l *layout.Layout, layer layout.Layer, spec Spec, at geom.Point, req Requirements) dedupKey {
+	if req.SnapGrid <= 0 {
+		return dedupKey{cell: at}
+	}
+	core := spec.CoreFor(at)
+	rects := l.QueryClipped(layer, core, nil)
+	return dedupKey{
+		cell: geom.Pt(floorDiv(at.X, req.SnapGrid), floorDiv(at.Y, req.SnapGrid)),
+		topo: topo.CanonicalKey(rects, core),
+	}
+}
+
+func floorDiv(a, b geom.Coord) geom.Coord {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// ExtractParallel is Extract fanned out over horizontal bands of the
+// layout, the multithreaded clip extraction of §III-G. workers <= 1 falls
+// back to the serial path.
+func ExtractParallel(l *layout.Layout, layer layout.Layer, spec Spec, req Requirements, workers int) []Candidate {
+	if workers <= 1 {
+		return Extract(l, layer, spec, req)
+	}
+	pieces := DissectLayer(l, layer, spec.CoreSide)
+	type result struct {
+		idx int
+		cs  []Candidate
+	}
+	chunk := (len(pieces) + workers - 1) / workers
+	if chunk == 0 {
+		chunk = 1
+	}
+	var wg sync.WaitGroup
+	results := make([][]keyedCandidate, (len(pieces)+chunk-1)/chunk)
+	for w := 0; w*chunk < len(pieces); w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(pieces) {
+			hi = len(pieces)
+		}
+		wg.Add(1)
+		go func(slot int, part []geom.Rect) {
+			defer wg.Done()
+			var cs []keyedCandidate
+			for _, piece := range part {
+				at := geom.Pt(piece.X0, piece.Y0)
+				if MeetsRequirements(l, layer, spec, at, req) {
+					cs = append(cs, keyedCandidate{
+						c:   Candidate{At: at},
+						key: candidateKey(l, layer, spec, at, req),
+					})
+				}
+			}
+			results[slot] = cs
+		}(w, pieces[lo:hi])
+	}
+	wg.Wait()
+	seen := make(map[dedupKey]bool)
+	var out []Candidate
+	for _, cs := range results {
+		for _, kc := range cs {
+			if !seen[kc.key] {
+				seen[kc.key] = true
+				out = append(out, kc.c)
+			}
+		}
+	}
+	sortCandidates(out)
+	return out
+}
+
+type keyedCandidate struct {
+	c   Candidate
+	key dedupKey
+}
+
+func sortCandidates(cs []Candidate) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].At.Y != cs[j].At.Y {
+			return cs[i].At.Y < cs[j].At.Y
+		}
+		return cs[i].At.X < cs[j].At.X
+	})
+}
+
+// DissectLayer slices each geometry rectangle of the layer into pieces whose
+// width and height do not exceed maxSide (Fig. 11(a)).
+func DissectLayer(l *layout.Layout, layer layout.Layer, maxSide geom.Coord) []geom.Rect {
+	var out []geom.Rect
+	for _, r := range l.Rects(layer) {
+		out = appendDissected(out, r, maxSide)
+	}
+	return out
+}
+
+func appendDissected(out []geom.Rect, r geom.Rect, maxSide geom.Coord) []geom.Rect {
+	if maxSide <= 0 {
+		return append(out, r)
+	}
+	for y := r.Y0; y < r.Y1; y += maxSide {
+		y1 := y + maxSide
+		if y1 > r.Y1 {
+			y1 = r.Y1
+		}
+		for x := r.X0; x < r.X1; x += maxSide {
+			x1 := x + maxSide
+			if x1 > r.X1 {
+				x1 = r.X1
+			}
+			out = append(out, geom.Rect{X0: x, Y0: y, X1: x1, Y1: y1})
+		}
+	}
+	return out
+}
+
+// MeetsRequirements evaluates the polygon-distribution filters for the clip
+// whose core origin is at.
+func MeetsRequirements(l *layout.Layout, layer layout.Layer, spec Spec, at geom.Point, req Requirements) bool {
+	core := spec.CoreFor(at)
+	window := spec.WindowFor(at)
+	coreRects := l.QueryClipped(layer, core, nil)
+	if len(coreRects) < req.MinPolyCount {
+		return false
+	}
+	if req.MinDensity > 0 || req.MaxDensity > 0 {
+		d := float64(geom.TotalArea(coreRects)) / float64(core.Area())
+		if req.MinDensity > 0 && d < req.MinDensity {
+			return false
+		}
+		if req.MaxDensity > 0 && d > req.MaxDensity {
+			return false
+		}
+	}
+	if req.MaxBorderDist > 0 {
+		clipRects := l.QueryClipped(layer, window, nil)
+		bb := geom.BoundingBox(clipRects)
+		if bb.Empty() {
+			return false
+		}
+		if bb.X0-window.X0 > req.MaxBorderDist ||
+			bb.Y0-window.Y0 > req.MaxBorderDist ||
+			window.X1-bb.X1 > req.MaxBorderDist ||
+			window.Y1-bb.Y1 > req.MaxBorderDist {
+			return false
+		}
+	}
+	return true
+}
+
+// Materialize converts candidates into full patterns with geometry.
+func Materialize(l *layout.Layout, layer layout.Layer, spec Spec, cs []Candidate) []*Pattern {
+	out := make([]*Pattern, len(cs))
+	for i, c := range cs {
+		out[i] = FromLayout(l, layer, spec, c.At, 0)
+	}
+	return out
+}
+
+// WindowScanCount returns the clip count of the window-sliding baseline
+// with the given overlap fraction (0.5 in Table V): cores of side
+// spec.CoreSide stepped by CoreSide*(1-overlap) across the layout bounds.
+func WindowScanCount(bounds geom.Rect, spec Spec, overlap float64) int {
+	step := geom.Coord(float64(spec.CoreSide) * (1 - overlap))
+	if step <= 0 {
+		step = 1
+	}
+	nx := int(bounds.W() / step)
+	ny := int(bounds.H() / step)
+	if nx < 1 {
+		nx = 1
+	}
+	ny = maxInt(ny, 1)
+	return nx * ny
+}
+
+// WindowScan enumerates the window-sliding baseline candidate positions.
+func WindowScan(bounds geom.Rect, spec Spec, overlap float64) []Candidate {
+	step := geom.Coord(float64(spec.CoreSide) * (1 - overlap))
+	if step <= 0 {
+		step = 1
+	}
+	var out []Candidate
+	for y := bounds.Y0; y+spec.CoreSide <= bounds.Y1; y += step {
+		for x := bounds.X0; x+spec.CoreSide <= bounds.X1; x += step {
+			out = append(out, Candidate{At: geom.Pt(x, y)})
+		}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

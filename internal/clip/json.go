@@ -1,0 +1,73 @@
+package clip
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hotspot/internal/geom"
+)
+
+// JSON serialization for training clip sets: a versioned document so sets
+// can be generated once (hotspot gen) and reused across runs and tools.
+
+const setFormatVersion = 1
+
+type persistedSet struct {
+	Version  int                `json:"version"`
+	Patterns []persistedPattern `json:"patterns"`
+}
+
+type persistedPattern struct {
+	Window [4]geom.Coord   `json:"window"`
+	Core   [4]geom.Coord   `json:"core"`
+	Rects  [][4]geom.Coord `json:"rects"`
+	Label  int8            `json:"label"`
+}
+
+func packRect(r geom.Rect) [4]geom.Coord   { return [4]geom.Coord{r.X0, r.Y0, r.X1, r.Y1} }
+func unpackRect(v [4]geom.Coord) geom.Rect { return geom.Rect{X0: v[0], Y0: v[1], X1: v[2], Y1: v[3]} }
+
+// WriteSet serializes a labelled pattern set as JSON.
+func WriteSet(w io.Writer, patterns []*Pattern) error {
+	doc := persistedSet{Version: setFormatVersion}
+	for _, p := range patterns {
+		pp := persistedPattern{
+			Window: packRect(p.Window),
+			Core:   packRect(p.Core),
+			Label:  int8(p.Label),
+		}
+		for _, r := range p.Rects {
+			pp.Rects = append(pp.Rects, packRect(r))
+		}
+		doc.Patterns = append(doc.Patterns, pp)
+	}
+	return json.NewEncoder(w).Encode(doc)
+}
+
+// ReadSet deserializes a pattern set written by WriteSet.
+func ReadSet(r io.Reader) ([]*Pattern, error) {
+	var doc persistedSet
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("clip: decoding pattern set: %w", err)
+	}
+	if doc.Version != setFormatVersion {
+		return nil, fmt.Errorf("clip: unsupported pattern-set version %d", doc.Version)
+	}
+	out := make([]*Pattern, 0, len(doc.Patterns))
+	for i, pp := range doc.Patterns {
+		p := &Pattern{
+			Window: unpackRect(pp.Window),
+			Core:   unpackRect(pp.Core),
+			Label:  Label(pp.Label),
+		}
+		if !p.Window.ContainsRect(p.Core) {
+			return nil, fmt.Errorf("clip: pattern %d: core outside window", i)
+		}
+		for _, r := range pp.Rects {
+			p.Rects = append(p.Rects, unpackRect(r))
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

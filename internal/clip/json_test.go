@@ -1,0 +1,70 @@
+package clip
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hotspot/internal/geom"
+)
+
+func TestSetRoundTrip(t *testing.T) {
+	in := []*Pattern{
+		{
+			Window: geom.R(-1800, -1800, 3000, 3000),
+			Core:   geom.R(0, 0, 1200, 1200),
+			Rects:  []geom.Rect{geom.R(0, 500, 1200, 700), geom.R(-1800, 0, -100, 100)},
+			Label:  Hotspot,
+		},
+		{
+			Window: geom.R(0, 0, 4800, 4800),
+			Core:   geom.R(1800, 1800, 3000, 3000),
+			Rects:  []geom.Rect{geom.R(2000, 2000, 2500, 2600)},
+			Label:  NonHotspot,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("count: %d", len(out))
+	}
+	for i := range in {
+		if !reflect.DeepEqual(in[i], out[i]) {
+			t.Fatalf("pattern %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadSetRejectsBadInput(t *testing.T) {
+	if _, err := ReadSet(strings.NewReader("nope")); err == nil {
+		t.Fatal("garbage must fail")
+	}
+	if _, err := ReadSet(strings.NewReader(`{"version": 9}`)); err == nil {
+		t.Fatal("future version must fail")
+	}
+	bad := `{"version":1,"patterns":[{"window":[0,0,100,100],"core":[0,0,500,500],"label":1}]}`
+	if _, err := ReadSet(strings.NewReader(bad)); err == nil {
+		t.Fatal("core outside window must fail")
+	}
+}
+
+func TestWriteSetEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("empty set round trip: %d", len(out))
+	}
+}

@@ -1,0 +1,38 @@
+package clip
+
+import "hotspot/internal/geom"
+
+// MultiPattern is a multilayer layout clip (§IV-A): per-layer geometry
+// within a shared window, with the usual core/ambit split.
+type MultiPattern struct {
+	// Window is the clip extent.
+	Window geom.Rect
+	// Core is the central core region.
+	Core geom.Rect
+	// Layers holds the geometry of each metal layer, bottom-up.
+	Layers [][]geom.Rect
+	// Label is the known or predicted class.
+	Label Label
+}
+
+// CoreLayers returns each layer's geometry clipped to the core region.
+func (p *MultiPattern) CoreLayers() [][]geom.Rect {
+	out := make([][]geom.Rect, len(p.Layers))
+	for li, rects := range p.Layers {
+		for _, r := range rects {
+			c := r.Intersect(p.Core)
+			if !c.Empty() {
+				out[li] = append(out[li], c)
+			}
+		}
+	}
+	return out
+}
+
+// Layer returns one layer's geometry (nil when out of range).
+func (p *MultiPattern) Layer(i int) []geom.Rect {
+	if i < 0 || i >= len(p.Layers) {
+		return nil
+	}
+	return p.Layers[i]
+}

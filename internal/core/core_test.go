@@ -1,0 +1,304 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"hotspot/internal/clip"
+	"hotspot/internal/geom"
+	"hotspot/internal/iccad"
+	"hotspot/internal/layout"
+)
+
+var (
+	benchOnce sync.Once
+	benchData *iccad.Benchmark
+)
+
+func testBenchmark() *iccad.Benchmark {
+	benchOnce.Do(func() {
+		benchData = iccad.Generate(iccad.Config{
+			Name: "core_test", Process: "32nm",
+			W: 60000, H: 60000,
+			TestHS: 16, TrainHS: 30, TrainNHS: 120,
+			FillFactor: 0.5, Seed: 11, Workers: 8,
+		})
+	})
+	return benchData
+}
+
+func trainedDetector(t testing.TB, cfg Config) *Detector {
+	t.Helper()
+	b := testBenchmark()
+	d, err := Train(b.Train, cfg)
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	return d
+}
+
+func TestTrainBuildsKernels(t *testing.T) {
+	d := trainedDetector(t, DefaultConfig())
+	if d.NumKernels() < 2 {
+		t.Fatalf("kernels: %d, want >= 2 (multiple clusters)", d.NumKernels())
+	}
+	st := d.Stats()
+	if st.UpsampledHS != 5*30 {
+		t.Fatalf("upsampled hotspots: %d, want 150", st.UpsampledHS)
+	}
+	if st.NonHotspotCentroids == 0 || st.NonHotspotCentroids >= 120 {
+		t.Fatalf("centroid downsampling: %d of 120", st.NonHotspotCentroids)
+	}
+	if st.SelfIters < d.NumKernels() {
+		t.Fatalf("self iterations: %d", st.SelfIters)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	b := testBenchmark()
+	var onlyHS, onlyNHS []*clip.Pattern
+	for _, p := range b.Train {
+		if p.Label == clip.Hotspot {
+			onlyHS = append(onlyHS, p)
+		} else {
+			onlyNHS = append(onlyNHS, p)
+		}
+	}
+	if _, err := Train(onlyHS, DefaultConfig()); err != ErrNoNonHotspots {
+		t.Fatalf("want ErrNoNonHotspots, got %v", err)
+	}
+	if _, err := Train(onlyNHS, DefaultConfig()); err != ErrNoHotspots {
+		t.Fatalf("want ErrNoHotspots, got %v", err)
+	}
+}
+
+func TestSelfClassificationAccuracy(t *testing.T) {
+	// The detector must classify its own training patterns well (the
+	// paper's self-training target is 90%).
+	b := testBenchmark()
+	d := trainedDetector(t, DefaultConfig())
+	correct, total := 0, 0
+	for _, p := range b.Train {
+		got := d.ClassifyPattern(p)
+		if got == p.Label {
+			correct++
+		}
+		total++
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.85 {
+		t.Fatalf("self accuracy: %.2f", acc)
+	}
+}
+
+func TestEndToEndDetection(t *testing.T) {
+	b := testBenchmark()
+	d := trainedDetector(t, DefaultConfig())
+	rep := d.Detect(b.Test)
+	score := EvaluateReport(rep.Hotspots, b.TruthCores, b.Test.Area(), b.Spec)
+	t.Logf("end-to-end: %s (candidates=%d flagged=%d reclaimed=%d)",
+		score, rep.Candidates, rep.Flagged, rep.Reclaimed)
+	if rep.Candidates == 0 {
+		t.Fatal("no clips extracted")
+	}
+	if score.Accuracy < 0.75 {
+		t.Fatalf("accuracy too low: %v", score.Accuracy)
+	}
+	if score.Extras > rep.Candidates/2 {
+		t.Fatalf("extras out of control: %d of %d candidates", score.Extras, rep.Candidates)
+	}
+}
+
+func TestSerialMatchesParallel(t *testing.T) {
+	b := testBenchmark()
+	cfg := DefaultConfig()
+	d := trainedDetector(t, cfg)
+	par := d.Detect(b.Test)
+	d.cfg.Workers = 1
+	ser := d.Detect(b.Test)
+	d.cfg.Workers = cfg.Workers
+	if len(par.Hotspots) != len(ser.Hotspots) {
+		t.Fatalf("parallel %d vs serial %d hotspots", len(par.Hotspots), len(ser.Hotspots))
+	}
+	for i := range par.Hotspots {
+		if par.Hotspots[i] != ser.Hotspots[i] {
+			t.Fatalf("hotspot %d differs", i)
+		}
+	}
+}
+
+func TestBasicBaselineTrainsAndDetects(t *testing.T) {
+	b := testBenchmark()
+	d := trainedDetector(t, BasicConfig())
+	if d.NumKernels() != 1 {
+		t.Fatalf("basic must have one kernel, got %d", d.NumKernels())
+	}
+	rep := d.Detect(b.Test)
+	score := EvaluateReport(rep.Hotspots, b.TruthCores, b.Test.Area(), b.Spec)
+	t.Logf("basic: %s", score)
+}
+
+func TestAblationShapes(t *testing.T) {
+	// Table III shape on the small benchmark: +Topology must not lose
+	// accuracy vs Basic; +Removal and +Feedback must not lose hits while
+	// not increasing extras.
+	b := testBenchmark()
+
+	run := func(cfg Config) Score {
+		d, err := Train(b.Train, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := d.Detect(b.Test)
+		return EvaluateReport(rep.Hotspots, b.TruthCores, b.Test.Area(), b.Spec)
+	}
+
+	basic := run(BasicConfig())
+	topoCfg := DefaultConfig()
+	topoCfg.EnableFeedback = false
+	topoCfg.EnableRemoval = false
+	topology := run(topoCfg)
+	removalCfg := topoCfg
+	removalCfg.EnableRemoval = true
+	removal := run(removalCfg)
+	ours := run(DefaultConfig())
+
+	t.Logf("Basic:     %s", basic)
+	t.Logf("+Topology: %s", topology)
+	t.Logf("+Removal:  %s", removal)
+	t.Logf("Ours:      %s", ours)
+
+	if topology.Hits < basic.Hits {
+		t.Errorf("+Topology lost hits: %d vs %d", topology.Hits, basic.Hits)
+	}
+	if removal.Hits < topology.Hits {
+		t.Errorf("+Removal lost hits: %d vs %d", removal.Hits, topology.Hits)
+	}
+	if removal.Extras > topology.Extras {
+		t.Errorf("+Removal raised extras: %d vs %d", removal.Extras, topology.Extras)
+	}
+	if ours.Extras > removal.Extras {
+		t.Errorf("feedback raised extras: %d vs %d", ours.Extras, removal.Extras)
+	}
+}
+
+func TestBiasTradeoff(t *testing.T) {
+	// Raising the bias must monotonically reduce (or keep) both hits and
+	// extras: the Fig. 15 trade-off direction.
+	b := testBenchmark()
+	cfg := DefaultConfig()
+	d := trainedDetector(t, cfg)
+	var prev *Score
+	for _, bias := range []float64{0, 0.4, 0.9} {
+		d.cfg.Bias = bias
+		rep := d.Detect(b.Test)
+		s := EvaluateReport(rep.Hotspots, b.TruthCores, b.Test.Area(), b.Spec)
+		t.Logf("bias=%.1f: %s", bias, s)
+		if prev != nil {
+			if s.Reported > prev.Reported {
+				t.Errorf("bias %v raised reports: %d > %d", bias, s.Reported, prev.Reported)
+			}
+		}
+		cp := s
+		prev = &cp
+	}
+	d.cfg.Bias = 0
+}
+
+func TestEvaluateReportRules(t *testing.T) {
+	spec := clip.DefaultSpec
+	truth := []geom.Rect{geom.R(10000, 10000, 11200, 11200)}
+	// Overlapping report: hit.
+	s := EvaluateReport([]geom.Rect{geom.R(10600, 10600, 11800, 11800)}, truth, 100e6, spec)
+	if s.Hits != 1 || s.Extras != 0 {
+		t.Fatalf("overlap hit: %+v", s)
+	}
+	if s.Accuracy != 1 {
+		t.Fatalf("accuracy: %v", s.Accuracy)
+	}
+	// Disjoint report: extra.
+	s = EvaluateReport([]geom.Rect{geom.R(20000, 20000, 21200, 21200)}, truth, 100e6, spec)
+	if s.Hits != 0 || s.Extras != 1 {
+		t.Fatalf("miss: %+v", s)
+	}
+	if s.FalseAlarm != 1.0/100.0 {
+		t.Fatalf("false alarm: %v", s.FalseAlarm)
+	}
+	// Two reports on one truth: one hit, no extras, no double count.
+	s = EvaluateReport([]geom.Rect{
+		geom.R(10100, 10100, 11300, 11300),
+		geom.R(9900, 9900, 11100, 11100),
+	}, truth, 100e6, spec)
+	if s.Hits != 1 || s.Extras != 0 {
+		t.Fatalf("double report: %+v", s)
+	}
+	// Empty inputs.
+	s = EvaluateReport(nil, truth, 100e6, spec)
+	if s.Hits != 0 || s.Accuracy != 0 {
+		t.Fatalf("empty report: %+v", s)
+	}
+}
+
+func TestRemoveRedundantMergesDuplicates(t *testing.T) {
+	l := layout.New("t")
+	l.AddRect(1, geom.R(0, 0, 20000, 20000))
+	cfg := DefaultConfig()
+	// A dense pile of nearly identical cores must shrink.
+	var cores []geom.Rect
+	for i := 0; i < 8; i++ {
+		d := geom.Coord(i * 50)
+		cores = append(cores, geom.R(5000+d, 5000+d, 6200+d, 6200+d))
+	}
+	out := RemoveRedundant(cores, l, cfg)
+	if len(out) >= len(cores) {
+		t.Fatalf("removal did not reduce: %d -> %d", len(cores), len(out))
+	}
+	// Every original core must still be overlapped by some survivor
+	// (no coverage loss).
+	for _, c := range cores {
+		found := false
+		for _, o := range out {
+			if o.Overlaps(c) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("core %v lost coverage", c)
+		}
+	}
+}
+
+func TestRemoveRedundantKeepsIsolated(t *testing.T) {
+	l := layout.New("t")
+	cfg := DefaultConfig()
+	cores := []geom.Rect{
+		geom.R(0, 0, 1200, 1200),
+		geom.R(50000, 50000, 51200, 51200),
+	}
+	out := RemoveRedundant(cores, l, cfg)
+	if len(out) != 2 {
+		t.Fatalf("isolated cores must survive: %v", out)
+	}
+}
+
+func TestRemoveRedundantDeterministic(t *testing.T) {
+	l := layout.New("t")
+	l.AddRect(1, geom.R(0, 0, 30000, 30000))
+	cfg := DefaultConfig()
+	var cores []geom.Rect
+	for i := 0; i < 10; i++ {
+		d := geom.Coord(i * 377)
+		cores = append(cores, geom.R(2000+d, 3000+d/2, 3200+d, 4200+d/2))
+	}
+	a := RemoveRedundant(append([]geom.Rect(nil), cores...), l, cfg)
+	b := RemoveRedundant(append([]geom.Rect(nil), cores...), l, cfg)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic removal")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("core %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"hotspot/internal/clip"
+)
+
+// TestDiagnoseDecisions inspects per-kernel hyperparameters and the raw
+// decision values of candidates overlapping missed truths.
+func TestDiagnoseDecisions(t *testing.T) {
+	b := testBenchmark()
+	cfg := DefaultConfig()
+	d := trainedDetector(t, cfg)
+	for ki, k := range d.kernels {
+		t.Logf("kernel %2d: gamma=%v svs=%d hotspots=%d dim=%d",
+			ki, k.model.Gamma, len(k.model.SVs), len(k.hotspots), k.extractor.Dim())
+	}
+	cands := clip.ExtractParallel(b.Test, cfg.Layer, cfg.Spec, cfg.Requirements, cfg.Workers)
+	for ti, tc := range b.TruthCores {
+		best := -1e9
+		bestKernel := -1
+		n := 0
+		for _, c := range cands {
+			core := cfg.Spec.CoreFor(c.At)
+			if !core.Overlaps(tc) {
+				continue
+			}
+			n++
+			p := clip.FromLayout(b.Test, cfg.Layer, cfg.Spec, c.At, 0)
+			for ki, k := range d.kernels {
+				x := k.scaler.Apply(k.vector(p))
+				v := k.model.Decision(x)
+				if v > best {
+					best, bestKernel = v, ki
+				}
+			}
+		}
+		t.Logf("truth %2d: overlapping=%2d bestDecision=%8.3f kernel=%d", ti, n, best, bestKernel)
+	}
+}

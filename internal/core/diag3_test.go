@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"hotspot/internal/clip"
+)
+
+// TestDiagnoseFeedback shows, per truth, the flagged clips' kernel
+// confidence and feedback decision.
+func TestDiagnoseFeedback(t *testing.T) {
+	b := testBenchmark()
+	cfg := DefaultConfig()
+	d := trainedDetector(t, cfg)
+	if d.feedback == nil {
+		t.Skip("no feedback kernel trained")
+	}
+	t.Logf("feedback extras during training: %d", d.stats.FeedbackExtras)
+	cands := clip.ExtractParallel(b.Test, cfg.Layer, cfg.Spec, cfg.Requirements, cfg.Workers)
+	for ti, tc := range b.TruthCores {
+		flagged, reclaimed := 0, 0
+		for _, c := range cands {
+			core := cfg.Spec.CoreFor(c.At)
+			if !core.Overlaps(tc) {
+				continue
+			}
+			p := clip.FromLayout(b.Test, cfg.Layer, cfg.Spec, c.At, 0)
+			hit, _, conf := d.multiKernelEval(p)
+			if !hit {
+				continue
+			}
+			flagged++
+			x := d.feedback.scaler.Apply(d.feedback.vector(p))
+			fb := d.feedback.model.Decision(x)
+			rec := d.feedbackReclaims(p, conf)
+			if rec {
+				reclaimed++
+			}
+			t.Logf("truth %2d: conf=%6.3f fb=%7.3f reclaimed=%v", ti, conf, fb, rec)
+		}
+		if flagged > 0 && flagged == reclaimed {
+			t.Logf("truth %2d: LOST (all %d flags reclaimed)", ti, flagged)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"hotspot/internal/clip"
+	"hotspot/internal/topo"
+)
+
+// TestDiagnoseRoutingDistance measures the density distance between
+// flagged clips and the kernel that flags them, to calibrate RouteMaxDist.
+func TestDiagnoseRoutingDistance(t *testing.T) {
+	b := testBenchmark()
+	cfg := DefaultConfig()
+	d := trainedDetector(t, cfg)
+	cands := clip.ExtractParallel(b.Test, cfg.Layer, cfg.Spec, cfg.Requirements, cfg.Workers)
+	var dists []float64
+	for _, c := range cands {
+		p := clip.FromLayout(b.Test, cfg.Layer, cfg.Spec, c.At, 0)
+		hit, kidx := d.multiKernelFlag(p)
+		if !hit {
+			continue
+		}
+		den := topo.ComputeDensity(p.CoreRects(), p.Core, cfg.Topo.DensityGrid)
+		dists = append(dists, topo.Dist(den, d.kernels[kidx].centroid))
+	}
+	sort.Float64s(dists)
+	if len(dists) == 0 {
+		t.Skip("nothing flagged")
+	}
+	q := func(f float64) float64 { return dists[int(f*float64(len(dists)-1))] }
+	t.Logf("flagged=%d distances: p50=%.1f p90=%.1f p99=%.1f max=%.1f",
+		len(dists), q(0.5), q(0.9), q(0.99), dists[len(dists)-1])
+}

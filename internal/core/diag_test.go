@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"hotspot/internal/clip"
+	"hotspot/internal/topo"
+)
+
+// TestDiagnoseMisses breaks down end-to-end misses: for every truth core,
+// is there an extracted candidate overlapping it, and if so, why is no
+// overlapping candidate flagged?
+func TestDiagnoseMisses(t *testing.T) {
+	b := testBenchmark()
+	cfg := DefaultConfig()
+	d := trainedDetector(t, cfg)
+	cands := clip.ExtractParallel(b.Test, cfg.Layer, cfg.Spec, cfg.Requirements, cfg.Workers)
+
+	for ti, tc := range b.TruthCores {
+		overlapping := 0
+		flagged := 0
+		exactKey := 0
+		for _, c := range cands {
+			core := cfg.Spec.CoreFor(c.At)
+			if !core.Overlaps(tc) {
+				continue
+			}
+			overlapping++
+			p := clip.FromLayout(b.Test, cfg.Layer, cfg.Spec, c.At, 0)
+			key := topo.CanonicalKey(p.CoreRects(), p.Core)
+			for _, k := range d.kernels {
+				if k.key == key {
+					exactKey++
+					break
+				}
+			}
+			if hit, _ := d.multiKernelFlag(p); hit {
+				flagged++
+			}
+		}
+		t.Logf("truth %2d: overlapping=%3d exactKey=%3d flagged=%3d", ti, overlapping, exactKey, flagged)
+	}
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"hotspot/internal/clip"
+	"hotspot/internal/features"
+	"hotspot/internal/geom"
+	"hotspot/internal/layout"
+	"hotspot/internal/topo"
+)
+
+// Report is the outcome of evaluating a testing layout.
+type Report struct {
+	// Hotspots are the reported hotspot cores (after redundant clip
+	// removal when enabled).
+	Hotspots []geom.Rect
+	// Candidates counts the extracted layout clips.
+	Candidates int
+	// Flagged counts clips flagged by the multiple kernels before the
+	// feedback kernel and removal.
+	Flagged int
+	// Reclaimed counts flags the feedback kernel reclaimed as nonhotspots.
+	Reclaimed int
+	// Runtime is the wall-clock evaluation time.
+	Runtime time.Duration
+}
+
+// Detect evaluates a testing layout: density-based clip extraction,
+// multiple-kernel evaluation, feedback-kernel filtering, and redundant clip
+// removal.
+func (d *Detector) Detect(l *layout.Layout) Report {
+	start := time.Now()
+	cfg := d.cfg
+	var rep Report
+
+	cands := clip.ExtractParallel(l, cfg.Layer, cfg.Spec, cfg.Requirements, cfg.Workers)
+	rep.Candidates = len(cands)
+
+	type verdict struct {
+		core      geom.Rect
+		flagged   bool
+		reclaimed bool
+	}
+	verdicts := make([]verdict, len(cands))
+	eval := func(i int) {
+		p := clip.FromLayout(l, cfg.Layer, cfg.Spec, cands[i].At, 0)
+		v := &verdicts[i]
+		v.core = p.Core
+		hit, _, conf := d.multiKernelEval(p)
+		if !hit {
+			return
+		}
+		v.flagged = true
+		if d.feedbackReclaims(p, conf) {
+			v.reclaimed = true
+		}
+	}
+	if cfg.Workers > 1 {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, cfg.Workers)
+		for i := range cands {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				eval(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range cands {
+			eval(i)
+		}
+	}
+
+	var cores []geom.Rect
+	for _, v := range verdicts {
+		if !v.flagged {
+			continue
+		}
+		rep.Flagged++
+		if v.reclaimed {
+			rep.Reclaimed++
+			continue
+		}
+		cores = append(cores, v.core)
+	}
+	if cfg.EnableRemoval {
+		cores = RemoveRedundant(cores, l, cfg)
+	}
+	rep.Hotspots = cores
+	rep.Runtime = time.Since(start)
+	return rep
+}
+
+// ClassifyPattern evaluates one standalone clip, returning the predicted
+// label (after the feedback kernel when present).
+func (d *Detector) ClassifyPattern(p *clip.Pattern) clip.Label {
+	hit, _, conf := d.multiKernelEval(p)
+	if !hit {
+		return clip.NonHotspot
+	}
+	if d.feedbackReclaims(p, conf) {
+		return clip.NonHotspot
+	}
+	return clip.Hotspot
+}
+
+// multiKernelEval is multiKernelFlag plus the maximum decision value over
+// all kernels, used as the flag's confidence by the feedback stage.
+func (d *Detector) multiKernelEval(p *clip.Pattern) (bool, int, float64) {
+	flagged, kidx := d.multiKernelFlag(p)
+	if !flagged {
+		return false, kidx, 0
+	}
+	// Compute the confidence (max decision) only for flagged clips.
+	ex := features.ExtractAll(p.CoreRects(), p.Core)
+	best := 0.0
+	for _, k := range d.kernels {
+		var x []float64
+		if k.key == "" && len(d.kernels) == 1 {
+			x = k.scaler.Apply(features.VectorDirectFrom(ex, d.cfg.BasicSlots))
+		} else {
+			x = k.scaler.Apply(k.extractor.VectorFrom(ex))
+		}
+		if v := k.model.Decision(x); v > best {
+			best = v
+		}
+	}
+	return true, kidx, best
+}
+
+// multiKernelFlag runs the multiple-kernel evaluation (§III-D4): the clip
+// is flagged as a hotspot when any kernel classifies it as one. Features
+// are extracted once and aligned per kernel. With RouteK > 0 the clip is
+// instead routed to exact-topology kernels or its RouteK density-nearest
+// kernels — a cheaper approximation (see BenchmarkAblationRouting for the
+// accuracy cost). The index of the flagging kernel is returned for
+// feedback training.
+func (d *Detector) multiKernelFlag(p *clip.Pattern) (bool, int) {
+	if len(d.kernels) == 0 {
+		return false, -1
+	}
+	ex := features.ExtractAll(p.CoreRects(), p.Core)
+	if len(d.kernels) == 1 && d.kernels[0].key == "" {
+		// Basic single kernel: no routing.
+		k := d.kernels[0]
+		x := k.scaler.Apply(features.VectorDirectFrom(ex, d.cfg.BasicSlots))
+		return k.model.PredictWithBias(x, d.cfg.Bias) > 0, 0
+	}
+	if d.cfg.RouteK > 0 {
+		key := topo.CanonicalKey(p.CoreRects(), p.Core)
+		for _, ki := range routedKernels(d.kernels, key, p, d.cfg) {
+			k := d.kernels[ki]
+			x := k.scaler.Apply(k.extractor.VectorFrom(ex))
+			if k.model.PredictWithBias(x, d.cfg.Bias) > 0 {
+				return true, ki
+			}
+		}
+		return false, -1
+	}
+	for ki, k := range d.kernels {
+		x := k.scaler.Apply(k.extractor.VectorFrom(ex))
+		if k.model.PredictWithBias(x, d.cfg.Bias) > 0 {
+			return true, ki
+		}
+	}
+	return false, -1
+}
+
+// routedKernels selects kernel indices for a clip: exact topology matches
+// first, else the RouteK nearest by density distance.
+func routedKernels(kernels []*kernelUnit, key string, p *clip.Pattern, cfg Config) []int {
+	var exact []int
+	for i, k := range kernels {
+		if k.key == key {
+			exact = append(exact, i)
+		}
+	}
+	if len(exact) > 0 {
+		return exact
+	}
+	grid := cfg.Topo.DensityGrid
+	if grid <= 0 {
+		grid = topo.DefaultOptions.DensityGrid
+	}
+	den := topo.ComputeDensity(p.CoreRects(), p.Core, grid)
+	type cand struct {
+		idx  int
+		dist float64
+	}
+	cands := make([]cand, 0, len(kernels))
+	for i, k := range kernels {
+		cands = append(cands, cand{i, topo.Dist(den, k.centroid)})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
+	n := cfg.RouteK
+	if n > len(cands) {
+		n = len(cands)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = cands[i].idx
+	}
+	return out
+}
+
+// feedbackReclaims applies the feedback kernel to a flagged clip: the flag
+// is withdrawn only when the feedback decision is clearly on the
+// nonhotspot side (below -FeedbackMargin) AND the multi-kernel flag was
+// weak (confidence below FeedbackOverride) — confidently flagged clips are
+// never reclaimed, so accuracy is not sacrificed for false-alarm
+// reduction.
+func (d *Detector) feedbackReclaims(p *clip.Pattern, confidence float64) bool {
+	if d.feedback == nil {
+		return false
+	}
+	if confidence >= d.cfg.FeedbackOverride && d.cfg.FeedbackOverride > 0 {
+		return false
+	}
+	x := d.feedback.scaler.Apply(d.feedback.vector(p))
+	return d.feedback.model.Decision(x) < -d.cfg.FeedbackMargin
+}
+
+// SetBias changes the detector's decision-threshold bias (the Fig. 15
+// operating-point knob) without retraining.
+func (d *Detector) SetBias(bias float64) { d.cfg.Bias = bias }
+
+// SetWorkers changes evaluation parallelism (1 = the serial ours_nopara
+// mode) without retraining.
+func (d *Detector) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	d.cfg.Workers = n
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hotspot/internal/clip"
+	"hotspot/internal/geom"
+)
+
+// Score grades a detection report against ground truth per the contest
+// rules (§II): a reported hotspot is a hit when its core overlaps the core
+// of an actual hotspot and its clip fully covers that core (Fig. 2);
+// accuracy is hits over actual hotspots; an extra is a report hitting no
+// actual hotspot; the false alarm is extras over layout area.
+type Score struct {
+	// Hits counts actual hotspots that were correctly identified.
+	Hits int
+	// Extras counts reported hotspots matching no actual hotspot.
+	Extras int
+	// Actual is the ground-truth hotspot count.
+	Actual int
+	// Reported is the reported hotspot count.
+	Reported int
+	// Accuracy = Hits / Actual.
+	Accuracy float64
+	// FalseAlarm = Extras per square micron of layout.
+	FalseAlarm float64
+	// HitExtra = Hits / Extras (the contest's secondary metric).
+	HitExtra float64
+	// Runtime carries the evaluation wall-clock time.
+	Runtime time.Duration
+}
+
+// EvaluateReport grades reported cores against truth cores.
+func EvaluateReport(reported, truth []geom.Rect, areaDBU2 int64, spec clip.Spec) Score {
+	s := Score{Actual: len(truth), Reported: len(reported)}
+	ambit := spec.Ambit()
+	hitTruth := make([]bool, len(truth))
+	for _, rc := range reported {
+		window := rc.Expand(ambit)
+		hitAny := false
+		for ti, tc := range truth {
+			if rc.Overlaps(tc) && window.ContainsRect(tc) {
+				hitTruth[ti] = true
+				hitAny = true
+			}
+		}
+		if !hitAny {
+			s.Extras++
+		}
+	}
+	for _, h := range hitTruth {
+		if h {
+			s.Hits++
+		}
+	}
+	if s.Actual > 0 {
+		s.Accuracy = float64(s.Hits) / float64(s.Actual)
+	}
+	if areaDBU2 > 0 {
+		um2 := float64(areaDBU2) / 1e6
+		s.FalseAlarm = float64(s.Extras) / um2
+	}
+	if s.Extras > 0 {
+		s.HitExtra = float64(s.Hits) / float64(s.Extras)
+	} else if s.Hits > 0 {
+		s.HitExtra = float64(s.Hits)
+	}
+	return s
+}
+
+// String renders a Table II-style row.
+func (s Score) String() string {
+	return fmt.Sprintf("#hit=%-5d #extra=%-6d accuracy=%6.2f%% hit/extra=%.2e runtime=%s",
+		s.Hits, s.Extras, 100*s.Accuracy, s.HitExtra, s.Runtime.Round(time.Millisecond))
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"hotspot/internal/clip"
+	"hotspot/internal/geom"
+)
+
+// TestHitRequiresClipCoverage exercises the Fig. 2 rule: a hit needs the
+// reported clip (core + ambit) to fully cover the actual core, not merely
+// core overlap. With a thin ambit, an offset report that overlaps the
+// truth core can still miss.
+func TestHitRequiresClipCoverage(t *testing.T) {
+	spec := clip.Spec{CoreSide: 1200, ClipSide: 1600} // ambit = 200
+	truth := []geom.Rect{geom.R(0, 0, 1200, 1200)}
+	// Report offset by 600: cores overlap, but the report's clip spans
+	// [400, 2000] and does not cover the truth core [0, 1200].
+	s := EvaluateReport([]geom.Rect{geom.R(600, 0, 1800, 1200)}, truth, 100e6, spec)
+	if s.Hits != 0 {
+		t.Fatalf("uncovered truth core must not count as a hit: %+v", s)
+	}
+	if s.Extras != 1 {
+		t.Fatalf("the miss is an extra: %+v", s)
+	}
+	// Offset by 100: clip [−300, 1500] covers the truth core.
+	s = EvaluateReport([]geom.Rect{geom.R(100, 0, 1300, 1200)}, truth, 100e6, spec)
+	if s.Hits != 1 || s.Extras != 0 {
+		t.Fatalf("covered truth core must hit: %+v", s)
+	}
+}
+
+func TestScoreHitExtraEdgeCases(t *testing.T) {
+	spec := clip.DefaultSpec
+	truth := []geom.Rect{geom.R(0, 0, 1200, 1200)}
+	// No extras: hit/extra reports the hit count.
+	s := EvaluateReport([]geom.Rect{geom.R(0, 0, 1200, 1200)}, truth, 100e6, spec)
+	if s.HitExtra != 1 {
+		t.Fatalf("hit/extra with zero extras: %v", s.HitExtra)
+	}
+	// No reports at all.
+	s = EvaluateReport(nil, truth, 100e6, spec)
+	if s.HitExtra != 0 || s.FalseAlarm != 0 {
+		t.Fatalf("empty report score: %+v", s)
+	}
+	// One report covering two truths counts both hits.
+	two := []geom.Rect{geom.R(0, 0, 1200, 1200), geom.R(600, 600, 1800, 1800)}
+	s = EvaluateReport([]geom.Rect{geom.R(300, 300, 1500, 1500)}, two, 100e6, spec)
+	if s.Hits != 2 || s.Extras != 0 {
+		t.Fatalf("double-cover score: %+v", s)
+	}
+	if s.Accuracy != 1 {
+		t.Fatalf("accuracy: %v", s.Accuracy)
+	}
+}
+
+func TestClassifyPatternDirect(t *testing.T) {
+	b := testBenchmark()
+	d := trainedDetector(t, DefaultConfig())
+	// Hotspot recall on training patterns (post-feedback) stays high.
+	hit, actual := 0, 0
+	for _, p := range b.Train {
+		if p.Label != clip.Hotspot {
+			continue
+		}
+		actual++
+		if d.ClassifyPattern(p) == clip.Hotspot {
+			hit++
+		}
+	}
+	if actual == 0 {
+		t.Fatal("no hotspot training patterns")
+	}
+	if float64(hit)/float64(actual) < 0.8 {
+		t.Fatalf("training hotspot recall: %d/%d", hit, actual)
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"hotspot/internal/clip"
+	"hotspot/internal/geom"
+	"hotspot/internal/iccad"
+)
+
+func TestMultiLayerTrainAndClassify(t *testing.T) {
+	train := iccad.GenerateMultiLayer(iccad.MLConfig{HS: 30, NHS: 90, Seed: 4})
+	eval := iccad.GenerateMultiLayer(iccad.MLConfig{HS: 20, NHS: 60, Seed: 5})
+	if len(train) < 100 || len(eval) < 60 {
+		t.Fatalf("generation short: %d train, %d eval", len(train), len(eval))
+	}
+	d, err := TrainMultiLayer(train, 0, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumKernels() == 0 {
+		t.Fatal("no kernels")
+	}
+	correct, total := 0, 0
+	hits, actual := 0, 0
+	for _, p := range eval {
+		got := d.ClassifyPattern(p)
+		if got == p.Label {
+			correct++
+		}
+		if p.Label == clip.Hotspot {
+			actual++
+			if got == clip.Hotspot {
+				hits++
+			}
+		}
+		total++
+	}
+	acc := float64(correct) / float64(total)
+	hitRate := float64(hits) / float64(actual)
+	t.Logf("multilayer: accuracy %.2f, hit rate %.2f (%d kernels)", acc, hitRate, d.NumKernels())
+	if acc < 0.7 {
+		t.Fatalf("multilayer accuracy too low: %v", acc)
+	}
+	if hitRate < 0.6 {
+		t.Fatalf("multilayer hit rate too low: %v", hitRate)
+	}
+}
+
+func TestMultiLayerTrainErrors(t *testing.T) {
+	mk := func(label clip.Label) *clip.MultiPattern {
+		return &clip.MultiPattern{
+			Window: geom.R(-1800, -1800, 3000, 3000),
+			Core:   geom.R(0, 0, 1200, 1200),
+			Layers: [][]geom.Rect{{geom.R(0, 500, 1200, 700)}, {geom.R(500, 0, 700, 1200)}},
+			Label:  label,
+		}
+	}
+	if _, err := TrainMultiLayer([]*clip.MultiPattern{mk(clip.Hotspot)}, 0, DefaultConfig()); err != ErrNoNonHotspots {
+		t.Fatalf("want ErrNoNonHotspots, got %v", err)
+	}
+	if _, err := TrainMultiLayer([]*clip.MultiPattern{mk(clip.NonHotspot)}, 0, DefaultConfig()); err != ErrNoHotspots {
+		t.Fatalf("want ErrNoHotspots, got %v", err)
+	}
+}
+
+func TestMultiLayerOracle(t *testing.T) {
+	window := geom.R(-1800, -1800, 3000, 3000)
+	core := geom.R(0, 0, 1200, 1200)
+	healthy := &clip.MultiPattern{
+		Window: window, Core: core,
+		Layers: [][]geom.Rect{
+			{geom.R(-1800, 500, 3000, 700)},
+			{geom.R(500, -200, 700, 1400)},
+		},
+	}
+	if iccad.MultiLayerOracle(healthy, 60*60) {
+		t.Fatal("healthy 200x200 landing must not be a hotspot")
+	}
+	// Slide metal 2 so the landing shrinks to 40 x 200 < 60 x 60.
+	misaligned := &clip.MultiPattern{
+		Window: window, Core: core,
+		Layers: [][]geom.Rect{
+			{geom.R(-1800, 500, 3000, 700)},
+			{geom.R(660, 720, 860, 1400)}, // no overlap, but near the bar
+		},
+	}
+	if !iccad.MultiLayerOracle(misaligned, 60*60) {
+		t.Fatal("missing landing must be a hotspot")
+	}
+	// Single-layer defect on metal 1 also counts.
+	pinch := &clip.MultiPattern{
+		Window: window, Core: core,
+		Layers: [][]geom.Rect{
+			{geom.R(-1800, 580, 3000, 620)}, // 40nm line pinches
+			{},
+		},
+	}
+	if !iccad.MultiLayerOracle(pinch, 60*60) {
+		t.Fatal("single-layer pinch must be a hotspot")
+	}
+}
+
+func TestCoreLayersClipsToCore(t *testing.T) {
+	p := &clip.MultiPattern{
+		Window: geom.R(-1800, -1800, 3000, 3000),
+		Core:   geom.R(0, 0, 1200, 1200),
+		Layers: [][]geom.Rect{
+			{geom.R(-500, 500, 1700, 700)},
+			{geom.R(5000, 5000, 6000, 6000)}, // outside
+		},
+	}
+	cl := p.CoreLayers()
+	if len(cl) != 2 {
+		t.Fatalf("layers: %d", len(cl))
+	}
+	if len(cl[0]) != 1 || cl[0][0] != geom.R(0, 500, 1200, 700) {
+		t.Fatalf("layer 0 clip: %v", cl[0])
+	}
+	if len(cl[1]) != 0 {
+		t.Fatalf("layer 1 must be empty: %v", cl[1])
+	}
+	if p.Layer(5) != nil || p.Layer(-1) != nil {
+		t.Fatal("out-of-range layer must be nil")
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hotspot/internal/features"
+	"hotspot/internal/svm"
+	"hotspot/internal/topo"
+)
+
+// The persisted model format: a JSON document with every kernel's support
+// vectors, scaler, slot layout, and topology metadata, plus the feedback
+// kernel and the configuration it was trained under. The format is
+// versioned so later releases can evolve it.
+
+const modelFormatVersion = 1
+
+type persistedModel struct {
+	Version  int               `json:"version"`
+	Config   Config            `json:"config"`
+	Stats    TrainStats        `json:"stats"`
+	Kernels  []persistedKernel `json:"kernels"`
+	Feedback *persistedSVM     `json:"feedback,omitempty"`
+	FbSlots  int               `json:"feedback_slots,omitempty"`
+}
+
+type persistedKernel struct {
+	Key      string              `json:"key"`
+	Slots    []features.RuleRect `json:"slots"`
+	Centroid topo.Density        `json:"centroid"`
+	SVM      persistedSVM        `json:"svm"`
+	Scaler   *svm.Scaler         `json:"scaler"`
+}
+
+type persistedSVM struct {
+	SVs    [][]float64 `json:"svs"`
+	Coef   []float64   `json:"coef"`
+	Rho    float64     `json:"rho"`
+	Gamma  float64     `json:"gamma"`
+	Scaler *svm.Scaler `json:"scaler,omitempty"`
+}
+
+func toPersistedSVM(m *svm.Model, sc *svm.Scaler) persistedSVM {
+	return persistedSVM{SVs: m.SVs, Coef: m.Coef, Rho: m.Rho, Gamma: m.Gamma, Scaler: sc}
+}
+
+func (p persistedSVM) model() *svm.Model {
+	return &svm.Model{SVs: p.SVs, Coef: p.Coef, Rho: p.Rho, Gamma: p.Gamma}
+}
+
+// Save serializes the trained detector. The model is self-contained: Load
+// restores a detector that classifies identically without retraining.
+func (d *Detector) Save(w io.Writer) error {
+	pm := persistedModel{
+		Version: modelFormatVersion,
+		Config:  d.cfg,
+		Stats:   d.stats,
+	}
+	for _, k := range d.kernels {
+		pm.Kernels = append(pm.Kernels, persistedKernel{
+			Key:      k.key,
+			Slots:    k.extractor.Slots(),
+			Centroid: k.centroid,
+			SVM:      toPersistedSVM(k.model, nil),
+			Scaler:   k.scaler,
+		})
+	}
+	if d.feedback != nil {
+		fb := toPersistedSVM(d.feedback.model, d.feedback.scaler)
+		pm.Feedback = &fb
+		pm.FbSlots = d.feedback.slots
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(pm)
+}
+
+// Load restores a detector saved with Save.
+func Load(r io.Reader) (*Detector, error) {
+	var pm persistedModel
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&pm); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if pm.Version != modelFormatVersion {
+		return nil, fmt.Errorf("core: unsupported model version %d", pm.Version)
+	}
+	d := &Detector{cfg: pm.Config, stats: pm.Stats}
+	for _, pk := range pm.Kernels {
+		if len(pk.SVM.SVs) == 0 {
+			return nil, fmt.Errorf("core: kernel %q has no support vectors", pk.Key)
+		}
+		d.kernels = append(d.kernels, &kernelUnit{
+			key:       pk.Key,
+			extractor: features.NewExtractorFromSlots(pk.Slots),
+			scaler:    pk.Scaler,
+			model:     pk.SVM.model(),
+			centroid:  pk.Centroid,
+		})
+	}
+	if pm.Feedback != nil {
+		d.feedback = &feedbackUnit{
+			slots:  pm.FbSlots,
+			scaler: pm.Feedback.Scaler,
+			model:  pm.Feedback.model(),
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"sort"
+
+	"hotspot/internal/clip"
+	"hotspot/internal/features"
+	"hotspot/internal/geom"
+	"hotspot/internal/layout"
+)
+
+func vectorDirectCore(p *clip.Pattern, slots int) []float64 {
+	return features.VectorDirect(p.CoreRects(), p.Core, slots)
+}
+
+// RemoveRedundant implements redundant clip removal (§III-F, Fig. 12):
+// reported cores are merged into regions by core overlap, dense regions are
+// reframed onto an l_s pitch, covered cores are discarded, off-centre clips
+// are shifted to their polygon centre of gravity, and the merge/reframe
+// pass runs once more.
+func RemoveRedundant(cores []geom.Rect, l *layout.Layout, cfg Config) []geom.Rect {
+	if len(cores) == 0 {
+		return cores
+	}
+	cores = mergeAndReframe(cores, cfg)
+	cores = discardCovered(cores, l, cfg)
+	cores = shiftToGravity(cores, l, cfg)
+	cores = mergeAndReframe(cores, cfg)
+	sortCores(cores)
+	return cores
+}
+
+func sortCores(cores []geom.Rect) {
+	sort.Slice(cores, func(i, j int) bool {
+		if cores[i].Y0 != cores[j].Y0 {
+			return cores[i].Y0 < cores[j].Y0
+		}
+		return cores[i].X0 < cores[j].X0
+	})
+}
+
+// mergeAndReframe groups cores into merging regions (union-find on core
+// overlap >= MergeMinOverlap of a core area) and reframes regions holding
+// more than ReframeThreshold cores onto a ReframeSep-pitch grid covering
+// the region's bounding box, guaranteeing any actual core overlapping the
+// region still overlaps a reframed core (l_s < l_c).
+func mergeAndReframe(cores []geom.Rect, cfg Config) []geom.Rect {
+	n := len(cores)
+	if n == 0 {
+		return cores
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	minOverlap := cfg.MergeMinOverlap
+	if minOverlap <= 0 {
+		minOverlap = 0.2
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ov := cores[i].OverlapArea(cores[j])
+			if ov <= 0 {
+				continue
+			}
+			limit := float64(minC64(cores[i].Area(), cores[j].Area())) * minOverlap
+			if float64(ov) >= limit {
+				union(i, j)
+			}
+		}
+	}
+	groups := map[int][]int{}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	// Deterministic group order.
+	var roots []int
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+
+	threshold := cfg.ReframeThreshold
+	if threshold <= 0 {
+		threshold = 4
+	}
+	sep := cfg.ReframeSep
+	if sep <= 0 {
+		sep = 1150
+	}
+	side := cfg.Spec.CoreSide
+
+	var out []geom.Rect
+	for _, r := range roots {
+		members := groups[r]
+		if len(members) <= threshold {
+			for _, m := range members {
+				out = append(out, cores[m])
+			}
+			continue
+		}
+		// Reframe: tile the region bounding box with cores at pitch sep.
+		bb := geom.Rect{}
+		for _, m := range members {
+			bb = bb.Union(cores[m])
+		}
+		for y := bb.Y0; ; y += sep {
+			if y+side > bb.Y1 {
+				y = bb.Y1 - side
+			}
+			for x := bb.X0; ; x += sep {
+				if x+side > bb.X1 {
+					x = bb.X1 - side
+				}
+				out = append(out, geom.Rect{X0: x, Y0: y, X1: x + side, Y1: y + side})
+				if x == bb.X1-side {
+					break
+				}
+			}
+			if y == bb.Y1-side {
+				break
+			}
+		}
+	}
+	return dedupCores(out)
+}
+
+func dedupCores(cores []geom.Rect) []geom.Rect {
+	seen := make(map[geom.Rect]bool, len(cores))
+	out := cores[:0]
+	for _, c := range cores {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// discardCovered drops a core when (1) all layout geometry within it is
+// covered by other reported cores and (2) each of its corners overlaps
+// another reported core (Fig. 12(d)).
+func discardCovered(cores []geom.Rect, l *layout.Layout, cfg Config) []geom.Rect {
+	if len(cores) < 2 {
+		return cores
+	}
+	alive := make([]bool, len(cores))
+	for i := range alive {
+		alive[i] = true
+	}
+	for i, c := range cores {
+		others := make([]geom.Rect, 0, 8)
+		for j, o := range cores {
+			if j != i && alive[j] && o.Overlaps(c) {
+				others = append(others, o)
+			}
+		}
+		if len(others) == 0 {
+			continue
+		}
+		// Condition 2: each corner inside some other core.
+		corners := [4]geom.Point{
+			{X: c.X0, Y: c.Y0}, {X: c.X1 - 1, Y: c.Y0},
+			{X: c.X0, Y: c.Y1 - 1}, {X: c.X1 - 1, Y: c.Y1 - 1},
+		}
+		cornersOK := true
+		for _, p := range corners {
+			inSome := false
+			for _, o := range others {
+				if o.Contains(p) {
+					inSome = true
+					break
+				}
+			}
+			if !inSome {
+				cornersOK = false
+				break
+			}
+		}
+		if !cornersOK {
+			continue
+		}
+		// Condition 1: geometry in c covered by the union of others.
+		geo := l.QueryClipped(cfg.Layer, c, nil)
+		covered := true
+		for _, g := range geo {
+			var parts []geom.Rect
+			for _, o := range others {
+				ov := g.Intersect(o)
+				if !ov.Empty() {
+					parts = append(parts, ov)
+				}
+			}
+			if geom.TotalArea(parts) != g.Area() {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			alive[i] = false
+		}
+	}
+	out := cores[:0]
+	for i, c := range cores {
+		if alive[i] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// shiftToGravity recentres clips whose geometry sits far from the clip
+// boundary: when the distance between the clip boundary and the geometry
+// bounding box exceeds the extraction limit, the core is shifted to the
+// polygon centre of gravity along x or y (§III-F step 3).
+func shiftToGravity(cores []geom.Rect, l *layout.Layout, cfg Config) []geom.Rect {
+	limit := cfg.Requirements.MaxBorderDist
+	if limit <= 0 {
+		return cores
+	}
+	ambit := cfg.Spec.Ambit()
+	out := make([]geom.Rect, 0, len(cores))
+	for _, c := range cores {
+		window := c.Expand(ambit)
+		geo := l.QueryClipped(cfg.Layer, window, nil)
+		if len(geo) == 0 {
+			out = append(out, c)
+			continue
+		}
+		bb := geom.BoundingBox(geo)
+		// Centre of gravity (area-weighted).
+		var ax, ay, aw float64
+		for _, g := range geo {
+			w := float64(g.Area())
+			ctr := g.Center()
+			ax += w * float64(ctr.X)
+			ay += w * float64(ctr.Y)
+			aw += w
+		}
+		if aw == 0 {
+			out = append(out, c)
+			continue
+		}
+		gx := geom.Coord(ax / aw)
+		gy := geom.Coord(ay / aw)
+		shifted := c
+		if bb.X0-window.X0 > limit || window.X1-bb.X1 > limit {
+			shifted = shifted.Translate(gx-c.Center().X, 0)
+		}
+		if bb.Y0-window.Y0 > limit || window.Y1-bb.Y1 > limit {
+			shifted = shifted.Translate(0, gy-c.Center().Y)
+		}
+		out = append(out, shifted)
+	}
+	return out
+}
+
+func minC64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"sort"
+
+	"hotspot/internal/geom"
+	"hotspot/internal/layout"
+	"hotspot/internal/litho"
+)
+
+// RankedHotspot is one reported core with its lithography triage result.
+// After detection, running the (expensive) simulator on just the reported
+// sites is cheap, and it orders the report for review: confirmed defects
+// first, then marginal CDs, then likely extras.
+type RankedHotspot struct {
+	Core geom.Rect
+	// Confirmed is true when the simulator reproduces a defect in the core.
+	Confirmed bool
+	// Defects counts simulated defects intersecting the core.
+	Defects int
+	// MinCD and MinGap are the printed critical dimensions measured in
+	// the core (0 = nothing measurable).
+	MinCD, MinGap geom.Coord
+	// Severity orders the report: higher is worse. Confirmed defects rank
+	// above unconfirmed; within each class, tighter printed dimensions
+	// rank higher.
+	Severity float64
+}
+
+// Triage simulates every reported core against the layout and returns the
+// report ordered worst-first. The model is the ground-truth proxy here; on
+// real data, plug the production simulator the same way.
+func Triage(l *layout.Layout, layer layout.Layer, cores []geom.Rect, m litho.Model) []RankedHotspot {
+	out := make([]RankedHotspot, 0, len(cores))
+	for _, core := range cores {
+		region := core.Expand(350)
+		drawn := l.QueryClipped(layer, region.Expand(m.Margin), nil)
+		r := RankedHotspot{Core: core}
+		for _, d := range m.Defects(drawn, region) {
+			if d.At.Overlaps(core) {
+				r.Defects++
+			}
+		}
+		r.Confirmed = r.Defects > 0
+		cd := m.MeasureCD(drawn, region, core)
+		r.MinCD, r.MinGap = cd.MinCD, cd.MinGap
+		r.Severity = severity(r)
+		out = append(out, r)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Severity > out[j].Severity })
+	return out
+}
+
+func severity(r RankedHotspot) float64 {
+	s := 0.0
+	if r.Confirmed {
+		s += 1000 + 10*float64(r.Defects)
+	}
+	// Tighter printed dimensions raise severity. A missing measurement
+	// contributes nothing.
+	if r.MinCD > 0 {
+		s += 100 / float64(r.MinCD)
+	}
+	if r.MinGap > 0 {
+		s += 100 / float64(r.MinGap)
+	}
+	return s
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"hotspot/internal/geom"
+	"hotspot/internal/litho"
+)
+
+func TestTriageOrdersConfirmedFirst(t *testing.T) {
+	b := testBenchmark()
+	d := trainedDetector(t, DefaultConfig())
+	rep := d.Detect(b.Test)
+	if len(rep.Hotspots) == 0 {
+		t.Skip("nothing reported")
+	}
+	ranked := Triage(b.Test, b.Layer, rep.Hotspots, litho.Default)
+	if len(ranked) != len(rep.Hotspots) {
+		t.Fatalf("ranked %d of %d", len(ranked), len(rep.Hotspots))
+	}
+	// Severity must be non-increasing and confirmed entries must not
+	// follow unconfirmed ones.
+	seenUnconfirmed := false
+	for i, r := range ranked {
+		if i > 0 && r.Severity > ranked[i-1].Severity {
+			t.Fatalf("severity not sorted at %d", i)
+		}
+		if !r.Confirmed {
+			seenUnconfirmed = true
+		} else if seenUnconfirmed {
+			t.Fatalf("confirmed entry after unconfirmed at %d", i)
+		}
+	}
+	// The triage must confirm at least the true hits.
+	confirmed := 0
+	for _, r := range ranked {
+		if r.Confirmed {
+			confirmed++
+		}
+	}
+	score := EvaluateReport(rep.Hotspots, b.TruthCores, b.Test.Area(), b.Spec)
+	if confirmed < score.Hits/2 {
+		t.Fatalf("triage confirmed %d but score has %d hits", confirmed, score.Hits)
+	}
+	t.Logf("triage: %d reported, %d confirmed (%d ground-truth hits)",
+		len(ranked), confirmed, score.Hits)
+}
+
+func TestTriageEmpty(t *testing.T) {
+	b := testBenchmark()
+	if got := Triage(b.Test, b.Layer, nil, litho.Default); len(got) != 0 {
+		t.Fatalf("empty triage: %d", len(got))
+	}
+	// An empty-geometry core ranks at zero severity.
+	ranked := Triage(b.Test, b.Layer, []geom.Rect{geom.R(-90000, -90000, -88800, -88800)}, litho.Default)
+	if len(ranked) != 1 || ranked[0].Confirmed || ranked[0].Severity != 0 {
+		t.Fatalf("empty core triage: %+v", ranked)
+	}
+}

@@ -1,0 +1,145 @@
+package drc
+
+import (
+	"testing"
+
+	"hotspot/internal/geom"
+	"hotspot/internal/iccad"
+	"hotspot/internal/layout"
+)
+
+func win() geom.Rect { return geom.R(0, 0, 2000, 2000) }
+
+func TestCleanGeometry(t *testing.T) {
+	rects := []geom.Rect{
+		geom.R(100, 100, 300, 1900),
+		geom.R(500, 100, 700, 1900),
+	}
+	vs := CheckRects(rects, win(), Rules{MinWidth: 100, MinSpace: 100, MinArea: 10000})
+	if len(vs) != 0 {
+		t.Fatalf("clean geometry flagged: %v", vs)
+	}
+}
+
+func TestWidthViolation(t *testing.T) {
+	rects := []geom.Rect{geom.R(100, 100, 160, 1900)} // 60 wide
+	vs := CheckRects(rects, win(), Rules{MinWidth: 100})
+	if len(vs) == 0 || vs[0].Kind != Width || vs[0].Value != 60 {
+		t.Fatalf("width violation missing: %v", vs)
+	}
+}
+
+func TestWidthSeamNotFlagged(t *testing.T) {
+	// A 200-wide bar split into two 100-wide abutting rects must be clean.
+	rects := []geom.Rect{
+		geom.R(100, 100, 200, 1900),
+		geom.R(200, 100, 300, 1900),
+	}
+	vs := CheckRects(rects, win(), Rules{MinWidth: 150})
+	if len(vs) != 0 {
+		t.Fatalf("decomposition seam flagged: %v", vs)
+	}
+}
+
+func TestSpaceViolation(t *testing.T) {
+	rects := []geom.Rect{
+		geom.R(100, 100, 300, 1900),
+		geom.R(360, 100, 560, 1900), // gap 60
+	}
+	vs := CheckRects(rects, win(), Rules{MinSpace: 100})
+	found := false
+	for _, v := range vs {
+		if v.Kind == Space && v.Value == 60 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("space violation missing: %v", vs)
+	}
+}
+
+func TestSpaceBoundaryGapNotFlagged(t *testing.T) {
+	// The gap between geometry and the window boundary is not a spacing.
+	rects := []geom.Rect{geom.R(30, 100, 300, 1900)}
+	vs := CheckRects(rects, win(), Rules{MinSpace: 100})
+	if len(vs) != 0 {
+		t.Fatalf("boundary gap flagged: %v", vs)
+	}
+}
+
+func TestAreaViolation(t *testing.T) {
+	rects := []geom.Rect{geom.R(500, 500, 560, 560)} // 3600 area
+	vs := CheckRects(rects, win(), Rules{MinArea: 10000})
+	if len(vs) != 1 || vs[0].Kind != Area || vs[0].Value != 3600 {
+		t.Fatalf("area violation missing: %v", vs)
+	}
+	// L-shaped component of two touching rects sums its area.
+	l := []geom.Rect{geom.R(500, 500, 600, 560), geom.R(500, 560, 560, 660)}
+	vs = CheckRects(l, win(), Rules{MinArea: 20000})
+	if len(vs) != 1 || vs[0].Value != 100*60+60*100 {
+		t.Fatalf("component area wrong: %v", vs)
+	}
+}
+
+func TestAreaClippedComponentSkipped(t *testing.T) {
+	rects := []geom.Rect{geom.R(0, 500, 60, 560)} // touches window edge
+	vs := CheckRects(rects, win(), Rules{MinArea: 10000})
+	if len(vs) != 0 {
+		t.Fatalf("clipped component flagged: %v", vs)
+	}
+}
+
+func TestCheckRegion(t *testing.T) {
+	l := layout.New("t")
+	l.AddRect(1, geom.R(100, 100, 160, 1900))
+	vs := CheckRegion(l, 1, win(), Rules{MinWidth: 100})
+	if len(vs) == 0 {
+		t.Fatal("region check missed violation")
+	}
+	if s := vs[0].String(); s == "" {
+		t.Fatal("violation string empty")
+	}
+}
+
+// TestBenchmarkBackgroundIsDRCClean verifies the generated benchmarks'
+// core property: the background routing is clean at the drawn rules
+// (80/120), while hotspot motifs intentionally use sub-rule litho-risk
+// dimensions — DRC-clean-but-litho-hot is the paper's premise.
+func TestBenchmarkBackgroundIsDRCClean(t *testing.T) {
+	b := iccad.Generate(iccad.Config{
+		Name: "drc_test", Process: "32nm",
+		W: 30000, H: 30000,
+		TestHS: 2, TrainHS: 4, TrainNHS: 16,
+		FillFactor: 0.6, Seed: 31, Workers: 8,
+	})
+	rules := Rules{MinWidth: 80, MinSpace: 100}
+	// Check windows away from the motif site grid.
+	checked := 0
+	for y := geom.Coord(2000); y < b.Test.Bounds.Y1-3000 && checked < 8; y += 2400 {
+		for x := geom.Coord(2000); x < b.Test.Bounds.X1-3000 && checked < 8; x += 2400 {
+			w := geom.R(x, y, x+2000, y+2000)
+			nearSite := false
+			for sx := geom.Coord(5000); sx < b.Test.Bounds.X1; sx += 5000 {
+				for sy := geom.Coord(5000); sy < b.Test.Bounds.Y1; sy += 5000 {
+					site := geom.R(sx-600, sy-600, sx+1800, sy+1800)
+					if site.Overlaps(w) {
+						nearSite = true
+					}
+				}
+			}
+			if nearSite {
+				continue
+			}
+			if len(b.Test.Query(1, w, nil)) == 0 {
+				continue
+			}
+			if vs := CheckRegion(b.Test, 1, w, rules); len(vs) != 0 {
+				t.Fatalf("background DRC violation at %v: %v", w, vs[0])
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Skip("no background windows sampled")
+	}
+}

@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"hotspot/internal/clip"
+)
+
+var (
+	suiteOnce sync.Once
+	suiteInst *Suite
+)
+
+// testSuite is a heavily scaled-down suite shared across tests.
+func testSuite() *Suite {
+	suiteOnce.Do(func() {
+		suiteInst = NewSuite(Options{Scale: 0.12, Workers: 8})
+	})
+	return suiteInst
+}
+
+func TestBenchNames(t *testing.T) {
+	names := BenchNames()
+	if len(names) != 6 {
+		t.Fatalf("names: %v", names)
+	}
+	if names[0] != "MX_benchmark1" || names[5] != "MX_blind_partial" {
+		t.Fatalf("order: %v", names)
+	}
+}
+
+func TestBenchUnknown(t *testing.T) {
+	if _, err := testSuite().Bench("nope"); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+}
+
+func TestBenchCached(t *testing.T) {
+	s := testSuite()
+	a, err := s.Bench("MX_benchmark5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Bench("MX_benchmark5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("benchmark not cached")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	s := testSuite()
+	rows, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.TestHS == 0 || r.AreaUM2 <= 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.WriteTable1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "MX_benchmark3") {
+		t.Fatalf("table output missing benchmark:\n%s", buf.String())
+	}
+}
+
+func TestTable2SmallBenchmark(t *testing.T) {
+	s := testSuite()
+	rows, err := s.Table2("MX_benchmark5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("methods: %d", len(rows))
+	}
+	byName := map[string]MethodResult{}
+	for _, r := range rows {
+		byName[r.Method] = r
+	}
+	var buf bytes.Buffer
+	writeRows(&buf, "test", rows)
+	t.Logf("\n%s", buf.String())
+	// Paper shapes: ours matches ours_nopara exactly; ours_low reports
+	// no more than ours.
+	if byName["ours"].Score.Hits != byName["ours_nopara"].Score.Hits ||
+		byName["ours"].Score.Extras != byName["ours_nopara"].Score.Extras {
+		t.Errorf("nopara must match ours: %+v vs %+v", byName["ours"].Score, byName["ours_nopara"].Score)
+	}
+	if byName["ours_low"].Score.Reported > byName["ours"].Score.Reported {
+		t.Errorf("ours_low reports more than ours")
+	}
+	if byName["ours_med"].Score.Reported > byName["ours"].Score.Reported {
+		t.Errorf("ours_med reports more than ours")
+	}
+}
+
+func TestTable3Blind(t *testing.T) {
+	s := testSuite()
+	rows, err := s.Table3("MX_blind_partial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	var buf bytes.Buffer
+	writeRows(&buf, "blind", rows)
+	t.Logf("\n%s", buf.String())
+	// Ablation direction: removal and feedback never raise extras above
+	// +Topology.
+	var topoE, oursE = -1, -1
+	for _, r := range rows {
+		switch r.Method {
+		case "+Topology":
+			topoE = r.Score.Extras
+		case "Ours":
+			oursE = r.Score.Extras
+		}
+	}
+	if oursE > topoE {
+		t.Errorf("ours extras (%d) above +Topology (%d)", oursE, topoE)
+	}
+}
+
+func TestTable4(t *testing.T) {
+	s := testSuite()
+	rows, err := s.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	var buf bytes.Buffer
+	if err := s.WriteTable4(&buf); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", buf.String())
+}
+
+func TestTable5(t *testing.T) {
+	s := testSuite()
+	rows, err := s.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.WindowClips <= 0 {
+			t.Fatalf("window clips: %+v", r)
+		}
+		// The paper's Table V shape: our extraction yields fewer clips
+		// than the sliding window on every benchmark.
+		if r.OurClips >= r.WindowClips {
+			t.Errorf("%s: ours %d >= window %d", r.Bench, r.OurClips, r.WindowClips)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.WriteTable5(&buf); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", buf.String())
+}
+
+func TestFig15Monotone(t *testing.T) {
+	s := testSuite()
+	pts, err := s.Fig15([]float64{0, 0.5, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points: %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Hits > pts[i-1].Hits {
+			t.Errorf("hit count rose with bias: %+v", pts)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.WriteFig15(&buf, []float64{0, 0.5, 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", buf.String())
+}
+
+func TestSampleTraining(t *testing.T) {
+	var pats []*clip.Pattern
+	for i := 0; i < 100; i++ {
+		label := clip.NonHotspot
+		if i < 10 {
+			label = clip.Hotspot
+		}
+		pats = append(pats, &clip.Pattern{Label: label})
+	}
+	got := sampleTraining(pats, 0.2, 1)
+	if len(got) < 20 {
+		t.Fatalf("sample size: %d", len(got))
+	}
+	hs := 0
+	for _, p := range got {
+		if p.Label == clip.Hotspot {
+			hs++
+		}
+	}
+	if hs < 2 {
+		t.Fatalf("class floor violated: %d hotspots", hs)
+	}
+	// Tiny fraction still yields both classes.
+	tiny := sampleTraining(pats, 0.01, 1)
+	hs, nhs := 0, 0
+	for _, p := range tiny {
+		if p.Label == clip.Hotspot {
+			hs++
+		} else {
+			nhs++
+		}
+	}
+	if hs < 2 || nhs < 2 {
+		t.Fatalf("tiny sample classes: %d/%d", hs, nhs)
+	}
+	// Full fraction returns everything.
+	if got := sampleTraining(pats, 1, 1); len(got) != 100 {
+		t.Fatalf("full sample: %d", len(got))
+	}
+}
+
+func TestAblations(t *testing.T) {
+	s := testSuite()
+	rows, err := s.Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	var buf bytes.Buffer
+	if err := s.WriteAblations(&buf); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", buf.String())
+	if !strings.Contains(buf.String(), "shift=off") {
+		t.Fatal("ablation table incomplete")
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hotspot/internal/core"
+	"hotspot/internal/iccad"
+)
+
+// WriteMarkdownReport runs every experiment and writes a self-contained
+// markdown report with the measured tables in fenced blocks — the
+// regenerable core of EXPERIMENTS.md.
+func (s *Suite) WriteMarkdownReport(w io.Writer) error {
+	fmt.Fprintf(w, "# Measured results (scale %.2f)\n\n", s.opts.Scale)
+	sections := []struct {
+		title string
+		run   func(io.Writer) error
+	}{
+		{"Table I — benchmark statistics", s.WriteTable1},
+		{"Table II — comparison with the contest winners and [14]", s.WriteTable2},
+		{"Table III — feature ablation", s.WriteTable3},
+		{"Table IV — accuracy vs training data", s.WriteTable4},
+		{"Table V — clip extraction", s.WriteTable5},
+		{"Fig. 15 — accuracy / false-alarm trade-off", func(w io.Writer) error { return s.WriteFig15(w, nil) }},
+		{"Design-choice ablations", s.WriteAblations},
+	}
+	for _, sec := range sections {
+		fmt.Fprintf(w, "## %s\n\n```\n", sec.title)
+		if err := sec.run(w); err != nil {
+			return fmt.Errorf("experiments: %s: %w", sec.title, err)
+		}
+		fmt.Fprint(w, "```\n\n")
+	}
+	return nil
+}
+
+// AblationRow is one design-choice ablation result.
+type AblationRow struct {
+	Label string
+	Score core.Score
+}
+
+// Ablations runs the DESIGN.md §4 design-choice ablations on the first
+// benchmark: routing policy, data shifting, kernel cap, feedback kernel.
+func (s *Suite) Ablations() ([]AblationRow, error) {
+	b, err := s.Bench("MX_benchmark1")
+	if err != nil {
+		return nil, err
+	}
+	configs := []struct {
+		label string
+		mod   func(*core.Config)
+	}{
+		{"baseline (ours)", func(c *core.Config) {}},
+		{"route=3", func(c *core.Config) { c.RouteK = 3 }},
+		{"route=8", func(c *core.Config) { c.RouteK = 8 }},
+		{"shift=off", func(c *core.Config) { c.ShiftNM = 0 }},
+		{"max-kernels=16", func(c *core.Config) { c.MaxKernels = 16 }},
+		{"max-kernels=unbounded", func(c *core.Config) { c.MaxKernels = 0 }},
+		{"feedback=off", func(c *core.Config) { c.EnableFeedback = false }},
+		{"removal=off", func(c *core.Config) { c.EnableRemoval = false }},
+	}
+	var out []AblationRow
+	for _, cc := range configs {
+		cfg := s.config()
+		cc.mod(&cfg)
+		r, err := s.runDetector(b, b.Train, cfg, cc.label)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationRow{Label: cc.label, Score: r.Score})
+	}
+	return out, nil
+}
+
+// WriteAblations renders the ablation table.
+func (s *Suite) WriteAblations(w io.Writer) error {
+	rows, err := s.Ablations()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Design-choice ablations on %s\n", iccad.TestLayoutName("MX_benchmark1"))
+	fmt.Fprintf(w, "  %-22s %6s %8s %10s %12s\n", "variant", "#hit", "#extra", "accuracy", "runtime")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-22s %6d %8d %9.2f%% %12s\n",
+			r.Label, r.Score.Hits, r.Score.Extras, 100*r.Score.Accuracy,
+			r.Score.Runtime.Round(time.Millisecond))
+	}
+	return nil
+}

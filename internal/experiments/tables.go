@@ -1,0 +1,388 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"hotspot/internal/clip"
+	"hotspot/internal/core"
+	"hotspot/internal/iccad"
+	"hotspot/internal/patmatch"
+)
+
+// Table1 regenerates Table I: the benchmark statistics.
+func (s *Suite) Table1() ([]iccad.Stats, error) {
+	var out []iccad.Stats
+	for _, name := range BenchNames() {
+		b, err := s.Bench(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b.Stats())
+	}
+	return out, nil
+}
+
+// WriteTable1 renders Table I.
+func (s *Suite) WriteTable1(w io.Writer) error {
+	rows, err := s.Table1()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Table I: benchmark statistics")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %s\n", r)
+	}
+	return nil
+}
+
+// Table2 regenerates one benchmark's Table II block: the contest winners,
+// [14], and our framework at its operating points.
+func (s *Suite) Table2(benchName string) ([]MethodResult, error) {
+	b, err := s.Bench(benchName)
+	if err != nil {
+		return nil, err
+	}
+	var out []MethodResult
+	// Pattern-matching comparators.
+	for _, opts := range []patmatch.Options{
+		patmatch.FirstPlace(), patmatch.SecondPlace(), patmatch.ThirdPlace(), patmatch.FuzzyModel(),
+	} {
+		if s.opts.Workers > 0 {
+			opts.Workers = s.opts.Workers
+		}
+		r, err := s.runMatcher(b, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	// Ours at the paper's operating points.
+	cfg := s.config()
+	ours, err := s.runDetector(b, b.Train, cfg, "ours")
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, ours)
+
+	low := cfg
+	low.Bias = 0.8
+	lowR, err := s.runDetector(b, b.Train, low, "ours_low")
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, lowR)
+
+	med := cfg
+	med.Bias = 0.35
+	medR, err := s.runDetector(b, b.Train, med, "ours_med")
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, medR)
+
+	nopara := cfg
+	nopara.Workers = 1
+	noparaR, err := s.runDetector(b, b.Train, nopara, "ours_nopara")
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, noparaR)
+	return out, nil
+}
+
+func (s *Suite) runMatcher(b *iccad.Benchmark, opts patmatch.Options) (MethodResult, error) {
+	cfg := s.config()
+	m := patmatch.Train(b.Train, opts)
+	reported := m.Detect(b.Test, b.Layer, b.Spec, cfg.Requirements)
+	score := core.EvaluateReport(reported, b.TruthCores, b.Test.Area(), b.Spec)
+	return MethodResult{Method: opts.Name, Score: score}, nil
+}
+
+// WriteTable2 renders Table II for the five array benchmarks.
+func (s *Suite) WriteTable2(w io.Writer) error {
+	fmt.Fprintln(w, "Table II: comparison with 2012 CAD contest winners and [14]")
+	for _, name := range BenchNames() {
+		if name == "MX_blind_partial" {
+			continue
+		}
+		rows, err := s.Table2(name)
+		if err != nil {
+			return err
+		}
+		writeRows(w, fmt.Sprintf("%s (%s)", iccad.TestLayoutName(name), name), rows)
+	}
+	return nil
+}
+
+// Table3 regenerates one benchmark's Table III ablation block:
+// Basic / +Topology / +Removal / Ours, with the 1st-place reference.
+// MX_blind_partial is evaluated with MX_benchmark1's training data, as in
+// the paper.
+func (s *Suite) Table3(benchName string) ([]MethodResult, error) {
+	b, err := s.Bench(benchName)
+	if err != nil {
+		return nil, err
+	}
+	train := b.Train
+	if benchName == "MX_blind_partial" {
+		tb, err := s.Bench("MX_benchmark1")
+		if err != nil {
+			return nil, err
+		}
+		train = tb.Train
+	}
+	var out []MethodResult
+
+	first := patmatch.FirstPlace()
+	if s.opts.Workers > 0 {
+		first.Workers = s.opts.Workers
+	}
+	fr, err := s.runMatcher(b, first)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, fr)
+
+	basic := core.BasicConfig()
+	if s.opts.Workers > 0 {
+		basic.Workers = s.opts.Workers
+	}
+	br, err := s.runDetector(b, train, basic, "Basic")
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, br)
+
+	topoCfg := s.config()
+	topoCfg.EnableFeedback = false
+	topoCfg.EnableRemoval = false
+	tr, err := s.runDetector(b, train, topoCfg, "+Topology")
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, tr)
+
+	remCfg := topoCfg
+	remCfg.EnableRemoval = true
+	rr, err := s.runDetector(b, train, remCfg, "+Removal")
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, rr)
+
+	or, err := s.runDetector(b, train, s.config(), "Ours")
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, or)
+	return out, nil
+}
+
+// WriteTable3 renders Table III for all six benchmarks.
+func (s *Suite) WriteTable3(w io.Writer) error {
+	fmt.Fprintln(w, "Table III: detailed comparison on our features")
+	for _, name := range BenchNames() {
+		rows, err := s.Table3(name)
+		if err != nil {
+			return err
+		}
+		writeRows(w, fmt.Sprintf("%s (%s)", iccad.TestLayoutName(name), name), rows)
+	}
+	return nil
+}
+
+// Table4Row is one Table IV row: ours on a reduced training fraction
+// against the 1st-place reference on full data.
+type Table4Row struct {
+	Bench    string
+	Fraction float64
+	First    core.Score
+	Ours     core.Score
+}
+
+// table4Fractions mirrors the paper's "Data" column.
+var table4Fractions = map[string]float64{
+	"MX_benchmark1":    0.65,
+	"MX_benchmark2":    0.06, // the paper uses 0.6% of a much larger pool
+	"MX_benchmark3":    0.05,
+	"MX_benchmark4":    0.99,
+	"MX_benchmark5":    0.92,
+	"MX_blind_partial": 1.00,
+}
+
+// Table4 regenerates Table IV: accuracy under reduced training data.
+func (s *Suite) Table4() ([]Table4Row, error) {
+	var out []Table4Row
+	for _, name := range BenchNames() {
+		b, err := s.Bench(name)
+		if err != nil {
+			return nil, err
+		}
+		train := b.Train
+		if name == "MX_blind_partial" {
+			tb, err := s.Bench("MX_benchmark3")
+			if err != nil {
+				return nil, err
+			}
+			train = tb.Train
+		}
+		frac := table4Fractions[name]
+		if frac == 0 {
+			frac = 1
+		}
+		sampled := sampleTraining(train, frac, 99)
+
+		first := patmatch.FirstPlace()
+		if s.opts.Workers > 0 {
+			first.Workers = s.opts.Workers
+		}
+		fr, err := s.runMatcher(b, first)
+		if err != nil {
+			return nil, err
+		}
+		or, err := s.runDetector(b, sampled, s.config(), "ours")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Table4Row{
+			Bench: name, Fraction: frac,
+			First: fr.Score, Ours: or.Score,
+		})
+	}
+	return out, nil
+}
+
+// WriteTable4 renders Table IV.
+func (s *Suite) WriteTable4(w io.Writer) error {
+	rows, err := s.Table4()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Table IV: accuracy and training data")
+	fmt.Fprintf(w, "  %-18s %6s | 1st: %6s %8s %9s | ours: %6s %8s %9s\n",
+		"benchmark", "data", "#hit", "#extra", "accuracy", "#hit", "#extra", "accuracy")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-18s %5.1f%% |      %6d %8d %8.2f%% |       %6d %8d %8.2f%%\n",
+			r.Bench, 100*r.Fraction,
+			r.First.Hits, r.First.Extras, 100*r.First.Accuracy,
+			r.Ours.Hits, r.Ours.Extras, 100*r.Ours.Accuracy)
+	}
+	return nil
+}
+
+// Table5Row is one Table V row: clip counts of the window baseline vs our
+// extraction.
+type Table5Row struct {
+	Bench       string
+	AreaUM      string
+	WindowClips int
+	OurClips    int
+}
+
+// Table5 regenerates Table V: clip extraction counts.
+func (s *Suite) Table5() ([]Table5Row, error) {
+	cfg := s.config()
+	var out []Table5Row
+	for _, name := range BenchNames() {
+		b, err := s.Bench(name)
+		if err != nil {
+			return nil, err
+		}
+		cands := clip.ExtractParallel(b.Test, b.Layer, b.Spec, cfg.Requirements, cfg.Workers)
+		window := clip.WindowScanCount(b.Test.Bounds, b.Spec, 0.5)
+		out = append(out, Table5Row{
+			Bench:       iccad.TestLayoutName(name),
+			AreaUM:      fmt.Sprintf("%.3fmm x %.3fmm", float64(b.Test.Bounds.W())/1e6, float64(b.Test.Bounds.H())/1e6),
+			WindowClips: window,
+			OurClips:    len(cands),
+		})
+	}
+	return out, nil
+}
+
+// WriteTable5 renders Table V.
+func (s *Suite) WriteTable5(w io.Writer) error {
+	rows, err := s.Table5()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Table V: clip extraction (window-based at 50% overlap vs ours)")
+	fmt.Fprintf(w, "  %-18s %-22s %12s %12s\n", "layout", "area", "#clip window", "#clip ours")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-18s %-22s %12d %12d\n", r.Bench, r.AreaUM, r.WindowClips, r.OurClips)
+	}
+	return nil
+}
+
+// TradeoffPoint is one Fig. 15 sample: the hit rate and extra count at a
+// decision bias.
+type TradeoffPoint struct {
+	Bias    float64
+	HitRate float64
+	Hits    int
+	Extras  int
+}
+
+// Fig15 regenerates the Fig. 15 trade-off curve: the pooled benchmarks are
+// evaluated at a sweep of decision biases over a detector trained on a 5%
+// sample of the pooled training data.
+func (s *Suite) Fig15(biases []float64) ([]TradeoffPoint, error) {
+	if len(biases) == 0 {
+		biases = []float64{-0.4, -0.2, 0, 0.2, 0.4, 0.6, 0.9, 1.3}
+	}
+	// Pool the training data of every MX benchmark; 5% sample.
+	var pool []*clip.Pattern
+	for _, name := range BenchNames() {
+		if name == "MX_blind_partial" {
+			continue
+		}
+		b, err := s.Bench(name)
+		if err != nil {
+			return nil, err
+		}
+		pool = append(pool, b.Train...)
+	}
+	sampled := sampleTraining(pool, 0.05, 15)
+
+	det, err := core.Train(sampled, s.config())
+	if err != nil {
+		return nil, err
+	}
+	var out []TradeoffPoint
+	for _, bias := range biases {
+		det.SetBias(bias)
+		totalHits, totalActual, totalExtras := 0, 0, 0
+		for _, name := range BenchNames() {
+			b, err := s.Bench(name)
+			if err != nil {
+				return nil, err
+			}
+			rep := det.Detect(b.Test)
+			sc := core.EvaluateReport(rep.Hotspots, b.TruthCores, b.Test.Area(), b.Spec)
+			totalHits += sc.Hits
+			totalActual += sc.Actual
+			totalExtras += sc.Extras
+		}
+		p := TradeoffPoint{Bias: bias, Hits: totalHits, Extras: totalExtras}
+		if totalActual > 0 {
+			p.HitRate = float64(totalHits) / float64(totalActual)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// WriteFig15 renders the Fig. 15 series.
+func (s *Suite) WriteFig15(w io.Writer, biases []float64) error {
+	pts, err := s.Fig15(biases)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Fig 15: trade-off between accuracy and false alarm (pooled, 5% training sample)")
+	fmt.Fprintf(w, "  %8s %10s %8s\n", "bias", "hit rate", "#extra")
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %8.2f %9.2f%% %8d\n", p.Bias, 100*p.HitRate, p.Extras)
+	}
+	return nil
+}

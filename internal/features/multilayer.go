@@ -1,0 +1,146 @@
+package features
+
+import (
+	"sort"
+
+	"hotspot/internal/geom"
+)
+
+// MultiLayerSet implements the §IV-A extension: for an m-layer pattern,
+// m per-layer feature sets plus m-1 sets extracted from the overlap of
+// adjacent layers (only internal and diagonal features are extracted from
+// the overlap geometry, per the paper).
+type MultiLayerSet struct {
+	// PerLayer holds the full rule set of each layer, in layer order.
+	PerLayer [][]RuleRect
+	// PerLayerNT holds each layer's nontopological features.
+	PerLayerNT []NonTopo
+	// Overlaps holds the internal+diagonal rules of each adjacent-layer
+	// overlap (len = len(PerLayer) - 1), sorted by ascending area so that
+	// the smallest landing zone — the printability-critical one — always
+	// occupies the first slot.
+	Overlaps [][]RuleRect
+	// OverlapNT holds each overlap set's nontopological features; its
+	// density and minimum-dimension components directly encode landing
+	// health (zero when two layers miss entirely).
+	OverlapNT []NonTopo
+}
+
+// ExtractMultiLayer extracts the multilayer feature sets from per-layer
+// geometry within a shared window.
+func ExtractMultiLayer(layers [][]geom.Rect, window geom.Rect) MultiLayerSet {
+	var out MultiLayerSet
+	for _, rects := range layers {
+		out.PerLayer = append(out.PerLayer, Extract(rects, window))
+		out.PerLayerNT = append(out.PerLayerNT, ComputeNonTopo(rects, window))
+	}
+	for i := 0; i+1 < len(layers); i++ {
+		ov := OverlapRects(layers[i], layers[i+1])
+		rules := Extract(ov, window)
+		kept := rules[:0]
+		for _, r := range rules {
+			if r.Kind == Internal || r.Kind == Diagonal {
+				kept = append(kept, r)
+			}
+		}
+		sort.SliceStable(kept, func(a, b int) bool {
+			return int64(kept[a].W)*int64(kept[a].H) < int64(kept[b].W)*int64(kept[b].H)
+		})
+		out.Overlaps = append(out.Overlaps, kept)
+		out.OverlapNT = append(out.OverlapNT, ComputeNonTopo(ov, window))
+	}
+	return out
+}
+
+// OverlapRects returns the pairwise intersections of two rect sets.
+func OverlapRects(a, b []geom.Rect) []geom.Rect {
+	var out []geom.Rect
+	for _, ra := range a {
+		for _, rb := range b {
+			c := ra.Intersect(rb)
+			if !c.Empty() {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// Vector flattens the multilayer set into a single feature vector with the
+// given slot budget per set.
+func (m MultiLayerSet) Vector(window geom.Rect, slotsPerSet int) []float64 {
+	var out []float64
+	flat := func(rules []RuleRect) {
+		for i := 0; i < slotsPerSet; i++ {
+			if i < len(rules) {
+				r := rules[i]
+				b := 0.0
+				if r.Boundary {
+					b = 1
+				}
+				out = append(out, float64(r.W), float64(r.H), float64(r.DX), float64(r.DY), b)
+			} else {
+				out = append(out, 0, 0, 0, 0, 0)
+			}
+		}
+	}
+	for i, rules := range m.PerLayer {
+		flat(rules)
+		out = append(out, m.PerLayerNT[i].Vector()...)
+	}
+	for i, rules := range m.Overlaps {
+		flat(rules)
+		out = append(out, m.OverlapNT[i].Vector()...)
+	}
+	return out
+}
+
+// DoublePatternSet implements the §IV-B extension: three feature sets for a
+// double-patterned clip — one per decomposition mask (carrying mask marks)
+// and one from the undecomposed pattern itself.
+type DoublePatternSet struct {
+	// Mask1 and Mask2 are the per-mask rule sets; Combined is the rule set
+	// of the full pattern.
+	Mask1, Mask2, Combined []RuleRect
+	// MaskMark1 and MaskMark2 tag the per-mask rule provenance.
+	MaskMark1, MaskMark2 int
+}
+
+// ExtractDoublePattern extracts the three feature sets from a mask
+// decomposition of the pattern within a window.
+func ExtractDoublePattern(mask1, mask2 []geom.Rect, window geom.Rect) DoublePatternSet {
+	combined := make([]geom.Rect, 0, len(mask1)+len(mask2))
+	combined = append(combined, mask1...)
+	combined = append(combined, mask2...)
+	return DoublePatternSet{
+		Mask1:     Extract(mask1, window),
+		Mask2:     Extract(mask2, window),
+		Combined:  Extract(combined, window),
+		MaskMark1: 1,
+		MaskMark2: 2,
+	}
+}
+
+// Vector flattens the double-patterning set into a feature vector; per-mask
+// slots carry their mask mark as an extra component.
+func (d DoublePatternSet) Vector(slotsPerSet int) []float64 {
+	var out []float64
+	flat := func(rules []RuleRect, mark float64) {
+		for i := 0; i < slotsPerSet; i++ {
+			if i < len(rules) {
+				r := rules[i]
+				b := 0.0
+				if r.Boundary {
+					b = 1
+				}
+				out = append(out, float64(r.W), float64(r.H), float64(r.DX), float64(r.DY), b, mark)
+			} else {
+				out = append(out, 0, 0, 0, 0, 0, mark)
+			}
+		}
+	}
+	flat(d.Mask1, float64(d.MaskMark1))
+	flat(d.Mask2, float64(d.MaskMark2))
+	flat(d.Combined, 0)
+	return out
+}

@@ -1,0 +1,173 @@
+package features
+
+import (
+	"math"
+
+	"hotspot/internal/geom"
+	"hotspot/internal/mtcg"
+)
+
+// NonTopo holds the five nontopological (lithography-process-related)
+// features of §III-C, Fig. 7(e).
+type NonTopo struct {
+	// Corners is the number of polygon corners (convex plus concave) of
+	// the geometry union inside the window.
+	Corners int
+	// Touches is the number of corner-to-corner touching points.
+	Touches int
+	// MinInternal is the minimum distance between a pair of internally
+	// facing polygon edges (the narrowest polygon dimension), 0 when
+	// there is no geometry.
+	MinInternal geom.Coord
+	// MinExternal is the minimum distance between a pair of externally
+	// facing polygon edges (the narrowest spacing), 0 when there are no
+	// facing pairs.
+	MinExternal geom.Coord
+	// Density is the polygon density of the window.
+	Density float64
+}
+
+// Vector renders the nontopological features as a feature subvector.
+func (n NonTopo) Vector() []float64 {
+	return []float64{
+		float64(n.Corners),
+		float64(n.Touches),
+		float64(n.MinInternal),
+		float64(n.MinExternal),
+		n.Density,
+	}
+}
+
+// NonTopoDim is the length of the nontopological subvector.
+const NonTopoDim = 5
+
+// ComputeNonTopo extracts the five nontopological features of the geometry
+// within window.
+func ComputeNonTopo(rects []geom.Rect, window geom.Rect) NonTopo {
+	clipped := make([]geom.Rect, 0, len(rects))
+	for _, r := range rects {
+		c := r.Intersect(window)
+		if !c.Empty() {
+			clipped = append(clipped, c)
+		}
+	}
+	var out NonTopo
+	out.Corners, out.Touches = cornersAndTouches(clipped)
+	out.MinInternal, out.MinExternal = minDistances(clipped, window)
+	if !window.Empty() {
+		out.Density = float64(geom.TotalArea(clipped)) / float64(window.Area())
+	}
+	return out
+}
+
+// cornersAndTouches counts corners and corner-touch points of the union of
+// rects by classifying every candidate vertex by its four filled quadrants:
+// 1 or 3 filled quadrants is a corner; 2 diagonal quadrants is a touch
+// point.
+func cornersAndTouches(rects []geom.Rect) (corners, touches int) {
+	// Candidate vertices: the full grid of edge coordinates, so that union
+	// corners formed by overlapping rectangles are found too.
+	type pt = geom.Point
+	xs := make(map[geom.Coord]bool)
+	ys := make(map[geom.Coord]bool)
+	for _, r := range rects {
+		xs[r.X0], xs[r.X1] = true, true
+		ys[r.Y0], ys[r.Y1] = true, true
+	}
+	cand := make(map[pt]bool, len(xs)*len(ys))
+	for x := range xs {
+		for y := range ys {
+			cand[pt{X: x, Y: y}] = true
+		}
+	}
+	covered := func(x, y geom.Coord) bool {
+		// Is the open unit quadrant with corner (x, y) extending to the
+		// lower-left covered? Test the point (x-ε, y-ε) via closed rect
+		// inclusion of a representative point.
+		for _, r := range rects {
+			if x > r.X0 && x <= r.X1 && y > r.Y0 && y <= r.Y1 {
+				return true
+			}
+		}
+		return false
+	}
+	for p := range cand {
+		// Quadrants around p: ll, lr, ul, ur.
+		ll := covered(p.X, p.Y)
+		lr := covered(p.X+1, p.Y)
+		ul := covered(p.X, p.Y+1)
+		ur := covered(p.X+1, p.Y+1)
+		n := b2i(ll) + b2i(lr) + b2i(ul) + b2i(ur)
+		switch n {
+		case 1, 3:
+			corners++
+		case 2:
+			if (ll && ur && !lr && !ul) || (lr && ul && !ll && !ur) {
+				touches++
+			}
+		}
+	}
+	return corners, touches
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// minDistances returns the narrowest polygon dimension (internal) and the
+// narrowest facing-edge spacing (external), measured on the maximal MTCG
+// tilings so that rectangle decomposition seams do not show up as edges:
+// the horizontal tiling's block tiles give local x-dimensions and its
+// blocked-on-both-sides space tiles give x-spacings; the vertical tiling
+// gives the y counterparts.
+func minDistances(rects []geom.Rect, window geom.Rect) (internal, external geom.Coord) {
+	internal = math.MaxInt32
+	external = math.MaxInt32
+	for _, horizontal := range []bool{true, false} {
+		t := mtcg.Build(rects, window, horizontal)
+		g := mtcg.NewGraph(t)
+		dim := func(r geom.Rect) geom.Coord {
+			if horizontal {
+				return r.W()
+			}
+			return r.H()
+		}
+		adj := g.Right
+		if !horizontal {
+			adj = g.Up
+		}
+		hasBlock := func(idx []int) bool {
+			for _, i := range idx {
+				if t.Tiles[i].Block {
+					return true
+				}
+			}
+			return false
+		}
+		for i, tile := range t.Tiles {
+			if tile.Block {
+				if d := dim(tile.R); d < internal {
+					internal = d
+				}
+				continue
+			}
+			// Space tile: a spacing only when blocks face each other
+			// across it.
+			if hasBlock(adj[i]) && hasBlock(incoming(adj, i)) {
+				if d := dim(tile.R); d < external {
+					external = d
+				}
+			}
+		}
+	}
+	if internal == math.MaxInt32 {
+		internal = 0
+	}
+	if external == math.MaxInt32 {
+		external = 0
+	}
+	return internal, external
+}

@@ -1,0 +1,106 @@
+package gds
+
+import (
+	"fmt"
+	"io"
+)
+
+// recordNames maps record types to their standard GDSII mnemonics.
+var recordNames = map[RecordType]string{
+	RecHeader:   "HEADER",
+	RecBgnLib:   "BGNLIB",
+	RecLibName:  "LIBNAME",
+	RecUnits:    "UNITS",
+	RecEndLib:   "ENDLIB",
+	RecBgnStr:   "BGNSTR",
+	RecStrName:  "STRNAME",
+	RecEndStr:   "ENDSTR",
+	RecBoundary: "BOUNDARY",
+	RecPath:     "PATH",
+	RecSRef:     "SREF",
+	RecARef:     "AREF",
+	RecText:     "TEXT",
+	RecLayer:    "LAYER",
+	RecDatatype: "DATATYPE",
+	RecWidth:    "WIDTH",
+	RecXY:       "XY",
+	RecEndEl:    "ENDEL",
+	RecSName:    "SNAME",
+	RecColRow:   "COLROW",
+	RecSTrans:   "STRANS",
+	RecMag:      "MAG",
+	RecAngle:    "ANGLE",
+	RecPathtype: "PATHTYPE",
+}
+
+// Name returns the record's GDSII mnemonic.
+func (t RecordType) Name() string {
+	if n, ok := recordNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("REC_%02X", uint8(t))
+}
+
+// Dump renders a GDSII stream as human-readable text, one record per line —
+// the classic gds2ascii debugging view. It stops at ENDLIB or a stream
+// error.
+func Dump(r io.Reader, w io.Writer) error {
+	rr := NewRecordReader(r)
+	indent := 0
+	for {
+		rec, err := rr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch rec.Type {
+		case RecEndStr, RecEndEl, RecEndLib:
+			if indent > 0 {
+				indent--
+			}
+		}
+		for i := 0; i < indent; i++ {
+			fmt.Fprint(w, "  ")
+		}
+		fmt.Fprint(w, rec.Type.Name())
+		switch rec.Data {
+		case DataInt16:
+			if v, err := rec.Int16s(); err == nil {
+				fmt.Fprintf(w, " %v", v)
+			}
+		case DataInt32:
+			if v, err := rec.Int32s(); err == nil {
+				if rec.Type == RecXY {
+					fmt.Fprint(w, " ")
+					for i := 0; i+1 < len(v); i += 2 {
+						if i > 0 {
+							fmt.Fprint(w, " ")
+						}
+						fmt.Fprintf(w, "(%d,%d)", v[i], v[i+1])
+					}
+				} else {
+					fmt.Fprintf(w, " %v", v)
+				}
+			}
+		case DataReal8:
+			if v, err := rec.Reals(); err == nil {
+				fmt.Fprintf(w, " %v", v)
+			}
+		case DataASCII:
+			if s, err := rec.ASCII(); err == nil {
+				fmt.Fprintf(w, " %q", s)
+			}
+		case DataBitArr:
+			fmt.Fprintf(w, " %x", rec.Body)
+		}
+		fmt.Fprintln(w)
+		switch rec.Type {
+		case RecBgnLib, RecBgnStr, RecBoundary, RecPath, RecSRef, RecARef, RecText:
+			indent++
+		case RecEndLib:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package gds
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDump(t *testing.T) {
+	lib := testLibrary()
+	var bin bytes.Buffer
+	if err := lib.Write(&bin); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := Dump(&bin, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"HEADER [600]", `LIBNAME "TESTLIB"`, "BGNSTR", `STRNAME "CELL"`,
+		"BOUNDARY", "LAYER [1]", "(0,0)", "ENDEL", "SREF", `SNAME "CELL"`,
+		"AREF", "COLROW [3 2]", "ENDLIB",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("dump missing %q:\n%s", want, text)
+		}
+	}
+	// Structure bodies are indented under BGNSTR.
+	if !strings.Contains(text, "  STRNAME") {
+		t.Fatalf("missing indentation:\n%s", text)
+	}
+}
+
+func TestDumpTruncated(t *testing.T) {
+	lib := testLibrary()
+	var bin bytes.Buffer
+	if err := lib.Write(&bin); err != nil {
+		t.Fatal(err)
+	}
+	trunc := bin.Bytes()[:bin.Len()/3]
+	var out bytes.Buffer
+	if err := Dump(bytes.NewReader(trunc), &out); err == nil {
+		t.Fatal("truncated stream must error")
+	}
+}
+
+func TestRecordTypeName(t *testing.T) {
+	if RecBoundary.Name() != "BOUNDARY" {
+		t.Fatal("known name")
+	}
+	if RecordType(0x77).Name() != "REC_77" {
+		t.Fatalf("unknown name: %s", RecordType(0x77).Name())
+	}
+}

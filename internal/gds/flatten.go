@@ -1,0 +1,219 @@
+package gds
+
+import (
+	"fmt"
+	"math"
+
+	"hotspot/internal/geom"
+)
+
+// FlatPolygon is one polygon of the flattened hierarchy.
+type FlatPolygon struct {
+	Layer int16
+	Pts   []geom.Point
+}
+
+// Flatten resolves the reference hierarchy of the named top structure into a
+// flat list of layer polygons. Paths are converted to boundary polygons.
+// Only 90-degree-multiple rotations are supported (all that rectilinear
+// layouts use).
+func (l *Library) Flatten(top string) ([]FlatPolygon, error) {
+	s := l.Structure(top)
+	if s == nil {
+		return nil, fmt.Errorf("gds: structure %q not found", top)
+	}
+	var out []FlatPolygon
+	seen := make(map[string]bool)
+	err := l.flattenInto(s, identityXform(), &out, seen, 0)
+	return out, err
+}
+
+// xform is an axis-aligned placement transform: optional x-axis reflection,
+// rotation by a 90-degree multiple, then translation.
+type xform struct {
+	reflect bool
+	rot     int // quarter turns CCW, 0..3
+	dx, dy  geom.Coord
+}
+
+func identityXform() xform { return xform{} }
+
+func (t xform) apply(p geom.Point) geom.Point {
+	x, y := p.X, p.Y
+	if t.reflect { // GDSII STRANS reflects about the x-axis before rotation
+		y = -y
+	}
+	switch t.rot & 3 {
+	case 1:
+		x, y = -y, x
+	case 2:
+		x, y = -x, -y
+	case 3:
+		x, y = y, -x
+	}
+	return geom.Point{X: x + t.dx, Y: y + t.dy}
+}
+
+// then returns the transform equivalent to applying t first, then u.
+func (u xform) compose(t xform) xform {
+	// Apply t, then u. The composed reflect/rot follow the dihedral rules;
+	// the offset is u applied to t's offset.
+	o := u.apply(geom.Point{X: t.dx, Y: t.dy})
+	out := xform{dx: o.X, dy: o.Y}
+	if u.reflect {
+		out.reflect = !t.reflect
+		out.rot = (u.rot - t.rot + 4) & 3
+	} else {
+		out.reflect = t.reflect
+		out.rot = (u.rot + t.rot) & 3
+	}
+	return out
+}
+
+func quarterTurns(angleCCW float64) (int, error) {
+	q := angleCCW / 90
+	if math.Abs(q-math.Round(q)) > 1e-9 {
+		return 0, fmt.Errorf("gds: non-rectilinear rotation %v degrees", angleCCW)
+	}
+	return ((int(math.Round(q)) % 4) + 4) % 4, nil
+}
+
+const maxDepth = 64
+
+func (l *Library) flattenInto(s *Structure, t xform, out *[]FlatPolygon, seen map[string]bool, depth int) error {
+	if depth > maxDepth {
+		return fmt.Errorf("gds: reference depth exceeds %d (cycle?)", maxDepth)
+	}
+	if seen[s.Name] {
+		return fmt.Errorf("gds: reference cycle through %q", s.Name)
+	}
+	seen[s.Name] = true
+	defer delete(seen, s.Name)
+
+	for _, b := range s.Boundaries {
+		pts := make([]geom.Point, len(b.Pts))
+		for i, p := range b.Pts {
+			pts[i] = t.apply(p)
+		}
+		*out = append(*out, FlatPolygon{Layer: b.Layer, Pts: pts})
+	}
+	for _, p := range s.Paths {
+		poly, err := PathToPolygon(p)
+		if err != nil {
+			return err
+		}
+		pts := make([]geom.Point, len(poly))
+		for i, q := range poly {
+			pts[i] = t.apply(q)
+		}
+		*out = append(*out, FlatPolygon{Layer: p.Layer, Pts: pts})
+	}
+	for _, r := range s.SRefs {
+		child := l.Structure(r.Name)
+		if child == nil {
+			return fmt.Errorf("gds: sref to missing structure %q", r.Name)
+		}
+		rot, err := quarterTurns(r.AngleCCW)
+		if err != nil {
+			return err
+		}
+		ct := t.compose(xform{reflect: r.Reflect, rot: rot, dx: r.Origin.X, dy: r.Origin.Y})
+		if err := l.flattenInto(child, ct, out, seen, depth+1); err != nil {
+			return err
+		}
+	}
+	for _, r := range s.ARefs {
+		child := l.Structure(r.Name)
+		if child == nil {
+			return fmt.Errorf("gds: aref to missing structure %q", r.Name)
+		}
+		rot, err := quarterTurns(r.AngleCCW)
+		if err != nil {
+			return err
+		}
+		if r.Cols <= 0 || r.Rows <= 0 {
+			return fmt.Errorf("gds: aref to %q with %dx%d grid", r.Name, r.Cols, r.Rows)
+		}
+		for c := 0; c < int(r.Cols); c++ {
+			for rw := 0; rw < int(r.Rows); rw++ {
+				dx := r.Origin.X + geom.Coord(c)*(r.ColVec.X/geom.Coord(r.Cols)) + geom.Coord(rw)*(r.RowVec.X/geom.Coord(r.Rows))
+				dy := r.Origin.Y + geom.Coord(c)*(r.ColVec.Y/geom.Coord(r.Cols)) + geom.Coord(rw)*(r.RowVec.Y/geom.Coord(r.Rows))
+				ct := t.compose(xform{reflect: r.Reflect, rot: rot, dx: dx, dy: dy})
+				if err := l.flattenInto(child, ct, out, seen, depth+1); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// PathToPolygon converts a Manhattan path with flush ends (pathtype 0) or
+// square-extended ends (pathtype 2) to its outline polygon ring.
+func PathToPolygon(p Path) ([]geom.Point, error) {
+	if p.Width <= 0 {
+		return nil, fmt.Errorf("gds: path with non-positive width %d", p.Width)
+	}
+	for i := 0; i+1 < len(p.Pts); i++ {
+		a, b := p.Pts[i], p.Pts[i+1]
+		if a.X != b.X && a.Y != b.Y {
+			return nil, fmt.Errorf("gds: non-Manhattan path segment %v-%v", a, b)
+		}
+	}
+	half := geom.Coord(p.Width / 2)
+	ext := geom.Coord(0)
+	if p.Pathtype == 2 {
+		ext = half
+	}
+	// Build the union of per-segment rectangles and re-extract the outline.
+	// For the simple Manhattan paths our generator emits, segments only meet
+	// at right angles, so the union outline is recovered by decomposing into
+	// rectangles and tracing; to stay simple and robust, callers that need
+	// polygons per se use Boundaries. Here we approximate the path by its
+	// per-segment rectangles merged via geometry downstream, returning a
+	// ring only when the path is a single segment.
+	if len(p.Pts) == 2 {
+		r := segmentRect(p.Pts[0], p.Pts[1], half, ext)
+		return []geom.Point{
+			{X: r.X0, Y: r.Y0}, {X: r.X1, Y: r.Y0}, {X: r.X1, Y: r.Y1}, {X: r.X0, Y: r.Y1},
+		}, nil
+	}
+	return nil, fmt.Errorf("gds: multi-segment path flattening not supported; convert to boundaries")
+}
+
+// SegmentRects expands each Manhattan path segment to its covering
+// rectangle (with pathtype-2 end extension when set).
+func SegmentRects(p Path) ([]geom.Rect, error) {
+	if p.Width <= 0 {
+		return nil, fmt.Errorf("gds: path with non-positive width %d", p.Width)
+	}
+	half := geom.Coord(p.Width / 2)
+	ext := geom.Coord(0)
+	if p.Pathtype == 2 {
+		ext = half
+	}
+	out := make([]geom.Rect, 0, len(p.Pts)-1)
+	for i := 0; i+1 < len(p.Pts); i++ {
+		a, b := p.Pts[i], p.Pts[i+1]
+		if a.X != b.X && a.Y != b.Y {
+			return nil, fmt.Errorf("gds: non-Manhattan path segment %v-%v", a, b)
+		}
+		out = append(out, segmentRect(a, b, half, ext))
+	}
+	return out, nil
+}
+
+func segmentRect(a, b geom.Point, half, ext geom.Coord) geom.Rect {
+	if a.X == b.X { // vertical
+		y0, y1 := a.Y, b.Y
+		if y0 > y1 {
+			y0, y1 = y1, y0
+		}
+		return geom.Rect{X0: a.X - half, Y0: y0 - ext, X1: a.X + half, Y1: y1 + ext}
+	}
+	x0, x1 := a.X, b.X
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	return geom.Rect{X0: x0 - ext, Y0: a.Y - half, X1: x1 + ext, Y1: a.Y + half}
+}

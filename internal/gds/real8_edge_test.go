@@ -1,0 +1,48 @@
+package gds
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReal8ExtremeValues(t *testing.T) {
+	// The excess-64 format covers roughly 1e-77 .. 1e77; typical layout
+	// values (database units, micron scales) round-trip tightly.
+	for _, v := range []float64{
+		1e-12, 2.5e-9, 1e-6, 0.001, 0.5, 1, 1024, 1e6, 1e12,
+		-1e-9, -123456.789,
+	} {
+		back := DecodeReal8(EncodeReal8(v))
+		if math.Abs(back-v) > math.Abs(v)*1e-12 {
+			t.Fatalf("round trip %v -> %v", v, back)
+		}
+	}
+}
+
+func TestReal8SignHandling(t *testing.T) {
+	pos := EncodeReal8(3.25)
+	neg := EncodeReal8(-3.25)
+	if pos&(1<<63) != 0 {
+		t.Fatal("positive value has sign bit")
+	}
+	if neg&(1<<63) == 0 {
+		t.Fatal("negative value lost sign bit")
+	}
+	if neg^pos != 1<<63 {
+		t.Fatal("sign must be the only differing bit")
+	}
+}
+
+func TestReal8MantissaNormalization(t *testing.T) {
+	// Every encoded nonzero mantissa must lie in [1/16, 1) of 2^56.
+	for _, v := range []float64{1, 15.999, 16, 16.001, 1.0 / 16, 1.0/16 - 1e-9} {
+		bits := EncodeReal8(v)
+		mant := bits & 0x00FFFFFFFFFFFFFF
+		if mant == 0 {
+			t.Fatalf("zero mantissa for %v", v)
+		}
+		if mant>>52 == 0 {
+			t.Fatalf("denormalized mantissa for %v: %#x", v, mant)
+		}
+	}
+}

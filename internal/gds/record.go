@@ -1,0 +1,274 @@
+// Package gds implements a reader and writer for the GDSII stream format,
+// the de-facto interchange format for mask layout data. It replaces the
+// proprietary Anuvad library the paper used [19], using only the standard
+// library.
+//
+// The codec is record-oriented: a GDSII file is a sequence of records, each
+// with a 2-byte length, a 1-byte record type, and a 1-byte data type,
+// followed by payload. Package gds exposes both the low-level record stream
+// (RecordReader / RecordWriter) and a structural model (Library, Structure,
+// Boundary, Path, SRef, ARef) with Parse and Write entry points.
+package gds
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// RecordType identifies a GDSII record.
+type RecordType uint8
+
+// GDSII record types used by this codec.
+const (
+	RecHeader   RecordType = 0x00
+	RecBgnLib   RecordType = 0x01
+	RecLibName  RecordType = 0x02
+	RecUnits    RecordType = 0x03
+	RecEndLib   RecordType = 0x04
+	RecBgnStr   RecordType = 0x05
+	RecStrName  RecordType = 0x06
+	RecEndStr   RecordType = 0x07
+	RecBoundary RecordType = 0x08
+	RecPath     RecordType = 0x09
+	RecSRef     RecordType = 0x0A
+	RecARef     RecordType = 0x0B
+	RecText     RecordType = 0x0C
+	RecLayer    RecordType = 0x0D
+	RecDatatype RecordType = 0x0E
+	RecWidth    RecordType = 0x0F
+	RecXY       RecordType = 0x10
+	RecEndEl    RecordType = 0x11
+	RecSName    RecordType = 0x12
+	RecColRow   RecordType = 0x13
+	RecSTrans   RecordType = 0x1A
+	RecMag      RecordType = 0x1B
+	RecAngle    RecordType = 0x1C
+	RecPathtype RecordType = 0x21
+)
+
+// DataType identifies the payload encoding of a record.
+type DataType uint8
+
+// GDSII data types.
+const (
+	DataNone   DataType = 0x00
+	DataBitArr DataType = 0x01
+	DataInt16  DataType = 0x02
+	DataInt32  DataType = 0x03
+	DataReal4  DataType = 0x04 // unused by modern writers
+	DataReal8  DataType = 0x05
+	DataASCII  DataType = 0x06
+)
+
+// Record is one raw GDSII record.
+type Record struct {
+	Type RecordType
+	Data DataType
+	Body []byte
+}
+
+// Int16s decodes the body as big-endian 16-bit integers.
+func (r Record) Int16s() ([]int16, error) {
+	if r.Data != DataInt16 {
+		return nil, fmt.Errorf("gds: record %#x has data type %#x, want int16", r.Type, r.Data)
+	}
+	if len(r.Body)%2 != 0 {
+		return nil, fmt.Errorf("gds: record %#x int16 body length %d not a multiple of 2", r.Type, len(r.Body))
+	}
+	out := make([]int16, len(r.Body)/2)
+	for i := range out {
+		out[i] = int16(binary.BigEndian.Uint16(r.Body[2*i:]))
+	}
+	return out, nil
+}
+
+// Int32s decodes the body as big-endian 32-bit integers.
+func (r Record) Int32s() ([]int32, error) {
+	if r.Data != DataInt32 {
+		return nil, fmt.Errorf("gds: record %#x has data type %#x, want int32", r.Type, r.Data)
+	}
+	if len(r.Body)%4 != 0 {
+		return nil, fmt.Errorf("gds: record %#x int32 body length %d not a multiple of 4", r.Type, len(r.Body))
+	}
+	out := make([]int32, len(r.Body)/4)
+	for i := range out {
+		out[i] = int32(binary.BigEndian.Uint32(r.Body[4*i:]))
+	}
+	return out, nil
+}
+
+// Reals decodes the body as GDSII 8-byte excess-64 reals.
+func (r Record) Reals() ([]float64, error) {
+	if r.Data != DataReal8 {
+		return nil, fmt.Errorf("gds: record %#x has data type %#x, want real8", r.Type, r.Data)
+	}
+	if len(r.Body)%8 != 0 {
+		return nil, fmt.Errorf("gds: record %#x real8 body length %d not a multiple of 8", r.Type, len(r.Body))
+	}
+	out := make([]float64, len(r.Body)/8)
+	for i := range out {
+		out[i] = DecodeReal8(binary.BigEndian.Uint64(r.Body[8*i:]))
+	}
+	return out, nil
+}
+
+// ASCII decodes the body as a GDSII string, trimming the optional padding NUL.
+func (r Record) ASCII() (string, error) {
+	if r.Data != DataASCII {
+		return "", fmt.Errorf("gds: record %#x has data type %#x, want ascii", r.Type, r.Data)
+	}
+	b := r.Body
+	if len(b) > 0 && b[len(b)-1] == 0 {
+		b = b[:len(b)-1]
+	}
+	return string(b), nil
+}
+
+// DecodeReal8 converts a GDSII excess-64 8-byte real to a float64.
+// Layout: sign bit, 7-bit exponent (excess 64, base 16), 56-bit mantissa
+// with the radix point to the left of the mantissa.
+func DecodeReal8(bits uint64) float64 {
+	if bits == 0 {
+		return 0
+	}
+	sign := 1.0
+	if bits&(1<<63) != 0 {
+		sign = -1
+	}
+	exp := int((bits>>56)&0x7F) - 64
+	mant := float64(bits&0x00FFFFFFFFFFFFFF) / float64(uint64(1)<<56)
+	return sign * mant * math.Pow(16, float64(exp))
+}
+
+// EncodeReal8 converts a float64 to a GDSII excess-64 8-byte real.
+func EncodeReal8(f float64) uint64 {
+	if f == 0 {
+		return 0
+	}
+	var sign uint64
+	if f < 0 {
+		sign = 1 << 63
+		f = -f
+	}
+	// Normalize mantissa into [1/16, 1).
+	exp := 0
+	for f >= 1 {
+		f /= 16
+		exp++
+	}
+	for f < 1.0/16 {
+		f *= 16
+		exp--
+	}
+	mant := uint64(f * float64(uint64(1)<<56))
+	if mant >= 1<<56 { // rounding overflow
+		mant >>= 4
+		exp++
+	}
+	e := uint64(exp+64) & 0x7F
+	return sign | e<<56 | mant
+}
+
+// RecordReader reads GDSII records from an underlying stream.
+type RecordReader struct {
+	r   io.Reader
+	buf [4]byte
+}
+
+// NewRecordReader wraps r.
+func NewRecordReader(r io.Reader) *RecordReader { return &RecordReader{r: r} }
+
+// Next reads the next record. It returns io.EOF (unwrapped) at a clean end
+// of stream.
+func (rr *RecordReader) Next() (Record, error) {
+	if _, err := io.ReadFull(rr.r, rr.buf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Record{}, fmt.Errorf("gds: truncated record header")
+		}
+		return Record{}, err
+	}
+	length := int(binary.BigEndian.Uint16(rr.buf[:2]))
+	if length == 0 {
+		// Stream padding at end of file: treat as EOF.
+		return Record{}, io.EOF
+	}
+	if length < 4 {
+		return Record{}, fmt.Errorf("gds: record length %d < 4", length)
+	}
+	rec := Record{Type: RecordType(rr.buf[2]), Data: DataType(rr.buf[3])}
+	if length > 4 {
+		rec.Body = make([]byte, length-4)
+		if _, err := io.ReadFull(rr.r, rec.Body); err != nil {
+			return Record{}, fmt.Errorf("gds: truncated record %#x body: %w", rec.Type, err)
+		}
+	}
+	return rec, nil
+}
+
+// RecordWriter writes GDSII records to an underlying stream.
+type RecordWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewRecordWriter wraps w.
+func NewRecordWriter(w io.Writer) *RecordWriter { return &RecordWriter{w: w} }
+
+// Write emits one record. Bodies longer than 65531 bytes are rejected;
+// callers split long XY lists across elements instead.
+func (rw *RecordWriter) Write(t RecordType, d DataType, body []byte) error {
+	if len(body)+4 > 0xFFFF {
+		return fmt.Errorf("gds: record %#x body too long (%d bytes)", t, len(body))
+	}
+	if len(body)%2 != 0 {
+		return fmt.Errorf("gds: record %#x body length %d is odd", t, len(body))
+	}
+	rw.buf = rw.buf[:0]
+	rw.buf = append(rw.buf, byte((len(body)+4)>>8), byte(len(body)+4), byte(t), byte(d))
+	rw.buf = append(rw.buf, body...)
+	_, err := rw.w.Write(rw.buf)
+	return err
+}
+
+// WriteInt16s emits an int16 record.
+func (rw *RecordWriter) WriteInt16s(t RecordType, vals ...int16) error {
+	body := make([]byte, 2*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint16(body[2*i:], uint16(v))
+	}
+	return rw.Write(t, DataInt16, body)
+}
+
+// WriteInt32s emits an int32 record.
+func (rw *RecordWriter) WriteInt32s(t RecordType, vals ...int32) error {
+	body := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint32(body[4*i:], uint32(v))
+	}
+	return rw.Write(t, DataInt32, body)
+}
+
+// WriteReals emits a real8 record.
+func (rw *RecordWriter) WriteReals(t RecordType, vals ...float64) error {
+	body := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint64(body[8*i:], EncodeReal8(v))
+	}
+	return rw.Write(t, DataReal8, body)
+}
+
+// WriteASCII emits an ASCII record, padding to even length with a NUL.
+func (rw *RecordWriter) WriteASCII(t RecordType, s string) error {
+	b := []byte(s)
+	if len(b)%2 != 0 {
+		b = append(b, 0)
+	}
+	return rw.Write(t, DataASCII, b)
+}
+
+// WriteEmpty emits a record with no body (markers like BOUNDARY, ENDEL).
+func (rw *RecordWriter) WriteEmpty(t RecordType) error {
+	return rw.Write(t, DataNone, nil)
+}

@@ -1,0 +1,105 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randRect(rng *rand.Rand) Rect {
+	x := Coord(rng.Intn(200) - 100)
+	y := Coord(rng.Intn(200) - 100)
+	return R(x, y, x+Coord(rng.Intn(100)), y+Coord(rng.Intn(100)))
+}
+
+func TestQuickIntersectCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randRect(rng), randRect(rng)
+		ab, ba := a.Intersect(b), b.Intersect(a)
+		return ab.Area() == ba.Area()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntersectAssociativeArea(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randRect(rng), randRect(rng), randRect(rng)
+		left := a.Intersect(b).Intersect(c)
+		right := a.Intersect(b.Intersect(c))
+		return left.Area() == right.Area()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnionContainsBoth(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randRect(rng), randRect(rng)
+		u := a.Union(b)
+		if !a.Empty() && !u.ContainsRect(a) {
+			return false
+		}
+		if !b.Empty() && !u.ContainsRect(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTranslateAdditive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randRect(rng)
+		d1x, d1y := Coord(rng.Intn(50)-25), Coord(rng.Intn(50)-25)
+		d2x, d2y := Coord(rng.Intn(50)-25), Coord(rng.Intn(50)-25)
+		once := a.Translate(d1x+d2x, d1y+d2y)
+		twice := a.Translate(d1x, d1y).Translate(d2x, d2y)
+		return once == twice
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntersectInsideBoth(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randRect(rng), randRect(rng)
+		i := a.Intersect(b)
+		if i.Empty() {
+			return true
+		}
+		return a.ContainsRect(i) && b.ContainsRect(i)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickOverlapAreaSymmetricBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randRect(rng), randRect(rng)
+		ov := a.OverlapArea(b)
+		if ov != b.OverlapArea(a) {
+			return false
+		}
+		if ov < 0 || ov > a.Area() || ov > b.Area() {
+			return false
+		}
+		// Overlaps() agrees with positive overlap area.
+		return (ov > 0) == a.Overlaps(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

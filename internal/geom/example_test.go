@@ -1,0 +1,39 @@
+package geom_test
+
+import (
+	"fmt"
+
+	"hotspot/internal/geom"
+)
+
+func ExamplePolygon_Rects() {
+	// Decompose an L-shaped polygon into disjoint rectangles.
+	l := geom.Polygon{Pts: []geom.Point{
+		geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(10, 5), geom.Pt(5, 5), geom.Pt(5, 10), geom.Pt(0, 10),
+	}}
+	rects, err := l.Rects()
+	if err != nil {
+		panic(err)
+	}
+	var area int64
+	for _, r := range rects {
+		area += r.Area()
+	}
+	fmt.Println(len(rects), "rectangles, area", area)
+	// Output: 2 rectangles, area 75
+}
+
+func ExampleTotalArea() {
+	rects := []geom.Rect{
+		geom.R(0, 0, 10, 10),
+		geom.R(5, 5, 15, 15), // overlaps the first
+	}
+	fmt.Println(geom.TotalArea(rects))
+	// Output: 175
+}
+
+func ExampleOrientation_ApplyToRect() {
+	r := geom.R(0, 0, 30, 10)
+	fmt.Println(geom.Rot90.ApplyToRect(r, 100))
+	// Output: [90,0 100,30]
+}

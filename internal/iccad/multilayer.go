@@ -1,0 +1,165 @@
+package iccad
+
+import (
+	"math/rand"
+
+	"hotspot/internal/clip"
+	"hotspot/internal/geom"
+	"hotspot/internal/litho"
+)
+
+// Multilayer benchmark generation (§IV-A): two-metal-layer clips whose
+// hotspot-ness comes either from a single-layer printability failure (the
+// litho oracle) or from an inter-layer failure — a via landing zone (the
+// overlap of the two metals) too small to yield.
+
+// MLConfig parameterizes multilayer clip generation.
+type MLConfig struct {
+	// HS and NHS are the hotspot / nonhotspot clip counts.
+	HS, NHS int
+	// MinLanding is the minimum healthy via landing area in nm^2; smaller
+	// overlaps are inter-layer hotspots.
+	MinLanding int64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultMLConfig is a small, balanced multilayer set.
+var DefaultMLConfig = MLConfig{HS: 40, NHS: 120, MinLanding: 60 * 60, Seed: 1}
+
+// GenerateMultiLayer produces a labelled multilayer training/testing clip
+// set. The label is determined by the multilayer oracle: a clip is a
+// hotspot when either metal layer has a printability defect in the core or
+// when a crossing's landing overlap in the core is below MinLanding.
+func GenerateMultiLayer(cfg MLConfig) []*clip.MultiPattern {
+	if cfg.MinLanding <= 0 {
+		cfg.MinLanding = DefaultMLConfig.MinLanding
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	spec := clip.DefaultSpec
+	var hs, nhs []*clip.MultiPattern
+	for tries := 0; (len(hs) < cfg.HS || len(nhs) < cfg.NHS) && tries < (cfg.HS+cfg.NHS)*40; tries++ {
+		p := randomMultiClip(rng, spec)
+		hot := MultiLayerOracle(p, cfg.MinLanding)
+		if hot {
+			p.Label = clip.Hotspot
+			if len(hs) < cfg.HS {
+				hs = append(hs, p)
+			}
+		} else {
+			p.Label = clip.NonHotspot
+			if len(nhs) < cfg.NHS {
+				nhs = append(nhs, p)
+			}
+		}
+	}
+	out := make([]*clip.MultiPattern, 0, len(hs)+len(nhs))
+	out = append(out, hs...)
+	out = append(out, nhs...)
+	return out
+}
+
+// randomMultiClip builds a two-layer clip: a metal-1 wire ending in a
+// finite landing pad, and a metal-2 bar that should land on the pad. The
+// misalignment parameter slides the bar off the pad, shrinking the landing
+// overlap from healthy to zero — the Fig. 13 situation where only the
+// inter-layer relation distinguishes hotspots.
+func randomMultiClip(rng *rand.Rand, spec clip.Spec) *clip.MultiPattern {
+	window := spec.WindowFor(geom.Pt(0, 0))
+	core := spec.CoreFor(geom.Pt(0, 0))
+	barW := geom.Coord(100 + rng.Intn(10)*10)
+	barY := geom.Coord(400 + rng.Intn(30)*10)
+	padX0 := geom.Coord(450 + rng.Intn(10)*10)
+	padW := geom.Coord(200)
+	padY0 := barY - 50
+	padH := barW + 100
+	m1 := []geom.Rect{
+		// Wire feeding the pad from the left.
+		geom.R(window.X0, barY, padX0, barY+barW),
+		// The landing pad.
+		geom.R(padX0, padY0, padX0+padW, padY0+padH),
+	}
+	m1 = append(m1, contextWires(rng, window, geom.R(window.X0, padY0-300, window.X1, padY0+padH+300))...)
+	// Metal 2: vertical bar; misalignment slides it rightward off the pad.
+	landW := geom.Coord(100 + rng.Intn(8)*10)
+	mis := geom.Coord(rng.Intn(31) * 10) // 0..300 nm misalignment
+	landX := padX0 + mis
+	m2 := []geom.Rect{geom.R(landX, core.Y0-200, landX+landW, core.Y1+200)}
+	return &clip.MultiPattern{Window: window, Core: core, Layers: [][]geom.Rect{m1, m2}}
+}
+
+// MultiLayerOracle labels a multilayer clip: hotspot when a metal layer
+// fails printability in the core or a metal-1 x metal-2 crossing in the
+// core lands with less than minLanding overlap area.
+func MultiLayerOracle(p *clip.MultiPattern, minLanding int64) bool {
+	region := p.Core.Expand(labelExpand)
+	for _, layerRects := range p.Layers {
+		if litho.Default.HasDefectIn(layerRects, region, p.Core) {
+			return true
+		}
+	}
+	// Inter-layer: each crossing of a connected metal-1 net and a metal-2
+	// shape inside the core must land with enough total overlap area. The
+	// check runs per net, not per rectangle, so a wire feeding a landing
+	// pad does not spuriously count as its own zero-area crossing.
+	if len(p.Layers) < 2 {
+		return false
+	}
+	nets := connectedGroups(p.Layers[0])
+	for _, net := range nets {
+		for _, b := range p.Layers[1] {
+			near := false
+			var overlap int64
+			for _, a := range net {
+				if !a.Expand(100).Intersect(b.Expand(100)).Intersect(p.Core).Empty() {
+					near = true
+				}
+				overlap += a.Intersect(b).Intersect(p.Core).Area()
+			}
+			if near && overlap < minLanding {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// connectedGroups partitions rects into touching-connected components.
+func connectedGroups(rects []geom.Rect) [][]geom.Rect {
+	n := len(rects)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rects[i].Touches(rects[j]) {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	groups := map[int][]geom.Rect{}
+	for i, r := range rects {
+		root := find(i)
+		groups[root] = append(groups[root], r)
+	}
+	out := make([][]geom.Rect, 0, len(groups))
+	// Deterministic order: by first member index.
+	seen := map[int]bool{}
+	for i := range rects {
+		root := find(i)
+		if !seen[root] {
+			seen[root] = true
+			out = append(out, groups[root])
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package iccad
+
+import (
+	"testing"
+
+	"hotspot/internal/clip"
+)
+
+func TestGenerateMultiLayerCountsAndLabels(t *testing.T) {
+	set := GenerateMultiLayer(MLConfig{HS: 10, NHS: 30, Seed: 2})
+	hs, nhs := 0, 0
+	for _, p := range set {
+		switch p.Label {
+		case clip.Hotspot:
+			hs++
+		case clip.NonHotspot:
+			nhs++
+		default:
+			t.Fatal("unlabelled multilayer clip")
+		}
+		if len(p.Layers) != 2 {
+			t.Fatalf("layers: %d", len(p.Layers))
+		}
+		if len(p.Layers[0]) == 0 || len(p.Layers[1]) == 0 {
+			t.Fatal("empty layer geometry")
+		}
+	}
+	if hs != 10 || nhs != 30 {
+		t.Fatalf("counts: %d/%d", hs, nhs)
+	}
+}
+
+func TestGenerateMultiLayerDeterministic(t *testing.T) {
+	a := GenerateMultiLayer(MLConfig{HS: 6, NHS: 12, Seed: 3})
+	b := GenerateMultiLayer(MLConfig{HS: 6, NHS: 12, Seed: 3})
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Label != b[i].Label || len(a[i].Layers[0]) != len(b[i].Layers[0]) {
+			t.Fatalf("clip %d differs", i)
+		}
+	}
+}
+
+func TestGenerateMultiLayerLabelsMatchOracle(t *testing.T) {
+	set := GenerateMultiLayer(MLConfig{HS: 8, NHS: 16, Seed: 4})
+	for i, p := range set {
+		hot := MultiLayerOracle(p, DefaultMLConfig.MinLanding)
+		if hot != (p.Label == clip.Hotspot) {
+			t.Fatalf("clip %d: label %v, oracle %v", i, p.Label, hot)
+		}
+	}
+}
+
+func TestConnectedGroups(t *testing.T) {
+	set := GenerateMultiLayer(MLConfig{HS: 2, NHS: 4, Seed: 5})
+	for _, p := range set {
+		groups := connectedGroups(p.Layers[0])
+		total := 0
+		for _, g := range groups {
+			total += len(g)
+		}
+		if total != len(p.Layers[0]) {
+			t.Fatalf("groups lose rects: %d vs %d", total, len(p.Layers[0]))
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package iccad
+
+// Suite lists the six benchmark configurations mirroring Table I and the
+// layout extents of Table V. Fill factors are tuned so that density-based
+// clip extraction counts track the Table V "Ours" column shape (sparser
+// designs yield far fewer clips than the window-sliding baseline).
+var Suite = []Config{
+	{
+		Name: "MX_benchmark1", Process: "32nm",
+		W: 110000, H: 115000,
+		TestHS: 226, TrainHS: 99, TrainNHS: 340,
+		FillFactor: 0.40, Seed: 1,
+	},
+	{
+		Name: "MX_benchmark2", Process: "28nm",
+		W: 327000, H: 327000,
+		TestHS: 499, TrainHS: 176, TrainNHS: 5285,
+		FillFactor: 0.62, Seed: 2,
+	},
+	{
+		Name: "MX_benchmark3", Process: "28nm",
+		W: 350000, H: 350000,
+		TestHS: 1847, TrainHS: 923, TrainNHS: 4643,
+		FillFactor: 0.62, Seed: 3,
+	},
+	{
+		Name: "MX_benchmark4", Process: "28nm",
+		W: 286000, H: 286000,
+		TestHS: 192, TrainHS: 98, TrainNHS: 4452,
+		FillFactor: 0.15, Seed: 4,
+	},
+	{
+		Name: "MX_benchmark5", Process: "28nm",
+		W: 222000, H: 222000,
+		TestHS: 42, TrainHS: 26, TrainNHS: 2716,
+		FillFactor: 0.15, Seed: 5,
+	},
+	{
+		Name: "MX_blind_partial", Process: "32nm",
+		W: 750000, H: 299000,
+		TestHS: 55, TrainHS: 99, TrainNHS: 340, // evaluated with benchmark1's training data in Table III
+		FillFactor: 0.45, Seed: 6,
+	},
+}
+
+// ConfigByName finds a suite entry.
+func ConfigByName(name string) (Config, bool) {
+	for _, c := range Suite {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Config{}, false
+}
+
+// TestLayoutName maps a training benchmark name to its paper testing
+// layout name (MX_benchmarkN -> Array_benchmarkN).
+func TestLayoutName(name string) string {
+	switch name {
+	case "MX_benchmark1":
+		return "Array_benchmark1"
+	case "MX_benchmark2":
+		return "Array_benchmark2"
+	case "MX_benchmark3":
+		return "Array_benchmark3"
+	case "MX_benchmark4":
+		return "Array_benchmark4"
+	case "MX_benchmark5":
+		return "Array_benchmark5"
+	}
+	return name
+}

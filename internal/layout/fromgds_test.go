@@ -1,0 +1,65 @@
+package layout
+
+import (
+	"testing"
+
+	"hotspot/internal/gds"
+	"hotspot/internal/geom"
+)
+
+func TestFromGDSMissingTop(t *testing.T) {
+	lib := &gds.Library{Name: "L", Structures: []*gds.Structure{{Name: "A"}}}
+	if _, err := FromGDS(lib, "NOPE"); err == nil {
+		t.Fatal("missing top structure must fail")
+	}
+}
+
+func TestFromGDSNonRectilinear(t *testing.T) {
+	lib := &gds.Library{
+		Name: "L",
+		Structures: []*gds.Structure{{
+			Name: "A",
+			Boundaries: []gds.Boundary{{
+				Layer: 1,
+				Pts:   []geom.Point{geom.Pt(0, 0), geom.Pt(10, 10), geom.Pt(10, 0), geom.Pt(0, 10)},
+			}},
+		}},
+	}
+	if _, err := FromGDS(lib, "A"); err == nil {
+		t.Fatal("non-rectilinear polygon must fail")
+	}
+}
+
+func TestFromGDSHierarchy(t *testing.T) {
+	lib := &gds.Library{
+		Name: "L",
+		Structures: []*gds.Structure{
+			{
+				Name: "LEAF",
+				Boundaries: []gds.Boundary{{
+					Layer: 1,
+					Pts:   []geom.Point{geom.Pt(0, 0), geom.Pt(100, 0), geom.Pt(100, 50), geom.Pt(0, 50)},
+				}},
+			},
+			{
+				Name: "TOP",
+				ARefs: []gds.ARef{{
+					Name: "LEAF", Cols: 4, Rows: 3,
+					Origin: geom.Pt(0, 0),
+					ColVec: geom.Pt(4*200, 0),
+					RowVec: geom.Pt(0, 3*100),
+				}},
+			},
+		},
+	}
+	l, err := FromGDS(lib, "TOP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumRects() != 12 {
+		t.Fatalf("flattened rects: %d, want 12", l.NumRects())
+	}
+	if l.PolygonArea(1) != 12*100*50 {
+		t.Fatalf("area: %d", l.PolygonArea(1))
+	}
+}

@@ -1,0 +1,134 @@
+package layout
+
+import (
+	"math"
+
+	"hotspot/internal/geom"
+)
+
+// Grid is a uniform-grid spatial index over a fixed set of rectangles.
+// Each rectangle is registered in every cell it overlaps. A query visits the
+// cells overlapping the window and reports each rectangle exactly once using
+// the canonical-cell rule (a rectangle is reported only from the top-left
+// cell of the intersection of its cell range with the query's cell range),
+// which keeps queries stateless and safe for concurrent use.
+type Grid struct {
+	bounds geom.Rect
+	cell   geom.Coord // cell side
+	nx, ny int
+	cells  [][]int32 // rect indices per cell
+	rects  []geom.Rect
+}
+
+// NewGrid indexes rects. The cell size is derived from the average rectangle
+// dimension so that typical rectangles span only a few cells.
+func NewGrid(rects []geom.Rect) *Grid {
+	g := &Grid{rects: rects}
+	if len(rects) == 0 {
+		g.nx, g.ny, g.cell = 1, 1, 1
+		g.cells = make([][]int32, 1)
+		return g
+	}
+	g.bounds = geom.BoundingBox(rects)
+	var sumDim int64
+	for _, r := range rects {
+		sumDim += int64(r.W()) + int64(r.H())
+	}
+	avg := sumDim / int64(2*len(rects))
+	if avg < 1 {
+		avg = 1
+	}
+	// Cell side: 4x the average dimension, clamped so the grid stays
+	// within a few million cells.
+	cell := geom.Coord(avg * 4)
+	for {
+		nx := int(int64(g.bounds.W())/int64(cell)) + 1
+		ny := int(int64(g.bounds.H())/int64(cell)) + 1
+		if int64(nx)*int64(ny) <= 1<<22 {
+			g.nx, g.ny, g.cell = nx, ny, cell
+			break
+		}
+		if cell > math.MaxInt32/2 {
+			g.nx, g.ny, g.cell = 1, 1, cell
+			break
+		}
+		cell *= 2
+	}
+	g.cells = make([][]int32, g.nx*g.ny)
+	for i, r := range rects {
+		x0, x1, y0, y1 := g.cellRange(r)
+		for y := y0; y <= y1; y++ {
+			for x := x0; x <= x1; x++ {
+				ci := y*g.nx + x
+				g.cells[ci] = append(g.cells[ci], int32(i))
+			}
+		}
+	}
+	return g
+}
+
+func (g *Grid) cellRange(r geom.Rect) (x0, x1, y0, y1 int) {
+	return g.cellX(r.X0), g.cellX(r.X1 - 1), g.cellY(r.Y0), g.cellY(r.Y1 - 1)
+}
+
+func (g *Grid) cellX(x geom.Coord) int {
+	i := int(int64(x-g.bounds.X0) / int64(g.cell))
+	if i < 0 {
+		i = 0
+	}
+	if i >= g.nx {
+		i = g.nx - 1
+	}
+	return i
+}
+
+func (g *Grid) cellY(y geom.Coord) int {
+	i := int(int64(y-g.bounds.Y0) / int64(g.cell))
+	if i < 0 {
+		i = 0
+	}
+	if i >= g.ny {
+		i = g.ny - 1
+	}
+	return i
+}
+
+// Query appends the indexed rectangles overlapping window to dst and returns
+// the extended slice. Safe for concurrent use.
+func (g *Grid) Query(window geom.Rect, dst []geom.Rect) []geom.Rect {
+	if len(g.rects) == 0 || !window.Overlaps(g.bounds) {
+		return dst
+	}
+	w := window.Intersect(g.bounds)
+	qx0, qx1, qy0, qy1 := g.cellRange(w)
+	for y := qy0; y <= qy1; y++ {
+		for x := qx0; x <= qx1; x++ {
+			for _, idx := range g.cells[y*g.nx+x] {
+				r := g.rects[idx]
+				if !r.Overlaps(window) {
+					continue
+				}
+				// Canonical cell: report only from the first query cell the
+				// rectangle appears in.
+				rx0, _, ry0, _ := g.cellRange(r)
+				if max(rx0, qx0) != x || max(ry0, qy0) != y {
+					continue
+				}
+				dst = append(dst, r)
+			}
+		}
+	}
+	return dst
+}
+
+// Count returns the number of indexed rectangles overlapping window.
+func (g *Grid) Count(window geom.Rect) int {
+	return len(g.Query(window, nil))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

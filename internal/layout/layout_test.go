@@ -1,0 +1,241 @@
+package layout
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"hotspot/internal/gds"
+	"hotspot/internal/geom"
+)
+
+func TestLayoutAddAndBounds(t *testing.T) {
+	l := New("t")
+	l.AddRect(1, geom.R(0, 0, 10, 10))
+	l.AddRect(1, geom.R(20, 20, 30, 40))
+	l.AddRect(2, geom.R(-5, 0, 0, 5))
+	if l.Bounds != geom.R(-5, 0, 30, 40) {
+		t.Fatalf("bounds: %v", l.Bounds)
+	}
+	if l.NumRects() != 3 {
+		t.Fatalf("num rects: %d", l.NumRects())
+	}
+	if got := l.Layers(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("layers: %v", got)
+	}
+	l.AddRect(3, geom.Rect{}) // empty: ignored
+	if l.NumRects() != 3 {
+		t.Fatal("empty rect must be ignored")
+	}
+}
+
+func TestLayoutAddPolygon(t *testing.T) {
+	l := New("t")
+	lshape := geom.Polygon{Pts: []geom.Point{
+		geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(10, 5), geom.Pt(5, 5), geom.Pt(5, 10), geom.Pt(0, 10),
+	}}
+	if err := l.AddPolygon(1, lshape); err != nil {
+		t.Fatal(err)
+	}
+	if l.PolygonArea(1) != 75 {
+		t.Fatalf("polygon area: %d", l.PolygonArea(1))
+	}
+}
+
+func TestQueryMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	l := New("t")
+	var all []geom.Rect
+	for i := 0; i < 500; i++ {
+		x := geom.Coord(rng.Intn(10000))
+		y := geom.Coord(rng.Intn(10000))
+		r := geom.R(x, y, x+geom.Coord(10+rng.Intn(400)), y+geom.Coord(10+rng.Intn(400)))
+		l.AddRect(1, r)
+		all = append(all, r)
+	}
+	for trial := 0; trial < 100; trial++ {
+		x := geom.Coord(rng.Intn(10000) - 500)
+		y := geom.Coord(rng.Intn(10000) - 500)
+		w := geom.R(x, y, x+geom.Coord(rng.Intn(2000)), y+geom.Coord(rng.Intn(2000)))
+		got := l.Query(1, w, nil)
+		var want []geom.Rect
+		for _, r := range all {
+			if r.Overlaps(w) {
+				want = append(want, r)
+			}
+		}
+		if !sameRectSet(got, want) {
+			t.Fatalf("trial %d window %v: got %d rects, want %d", trial, w, len(got), len(want))
+		}
+	}
+}
+
+func sameRectSet(a, b []geom.Rect) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	key := func(r geom.Rect) [4]geom.Coord { return [4]geom.Coord{r.X0, r.Y0, r.X1, r.Y1} }
+	as := make([][4]geom.Coord, len(a))
+	bs := make([][4]geom.Coord, len(b))
+	for i := range a {
+		as[i], bs[i] = key(a[i]), key(b[i])
+	}
+	less := func(x, y [4]geom.Coord) bool {
+		for i := 0; i < 4; i++ {
+			if x[i] != y[i] {
+				return x[i] < y[i]
+			}
+		}
+		return false
+	}
+	sort.Slice(as, func(i, j int) bool { return less(as[i], as[j]) })
+	sort.Slice(bs, func(i, j int) bool { return less(bs[i], bs[j]) })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQueryNoDuplicatesForSpanningRects(t *testing.T) {
+	// One huge rectangle spanning many grid cells must be reported once.
+	l := New("t")
+	l.AddRect(1, geom.R(0, 0, 100000, 100000))
+	for i := 0; i < 200; i++ {
+		l.AddRect(1, geom.R(geom.Coord(i*500), 0, geom.Coord(i*500+10), 10))
+	}
+	got := l.Query(1, geom.R(0, 0, 100000, 100000), nil)
+	count := 0
+	for _, r := range got {
+		if r == geom.R(0, 0, 100000, 100000) {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("spanning rect reported %d times", count)
+	}
+}
+
+func TestQueryConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	l := New("t")
+	for i := 0; i < 300; i++ {
+		x := geom.Coord(rng.Intn(5000))
+		y := geom.Coord(rng.Intn(5000))
+		l.AddRect(1, geom.R(x, y, x+50, y+50))
+	}
+	// Warm the index once, then hammer it from many goroutines; run with
+	// -race to catch unsynchronized access.
+	_ = l.Query(1, geom.R(0, 0, 10, 10), nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				x := geom.Coord(r.Intn(5000))
+				y := geom.Coord(r.Intn(5000))
+				l.Query(1, geom.R(x, y, x+600, y+600), nil)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}
+
+func TestQueryClippedAndDensity(t *testing.T) {
+	l := New("t")
+	l.AddRect(1, geom.R(0, 0, 10, 10))
+	window := geom.R(5, 5, 15, 15)
+	got := l.QueryClipped(1, window, nil)
+	if len(got) != 1 || got[0] != geom.R(5, 5, 10, 10) {
+		t.Fatalf("clipped: %v", got)
+	}
+	if d := l.DensityIn(1, window); d != 0.25 {
+		t.Fatalf("density: %v", d)
+	}
+	if d := l.DensityIn(1, geom.R(100, 100, 110, 110)); d != 0 {
+		t.Fatalf("empty density: %v", d)
+	}
+	// Overlapping rectangles must not double-count.
+	l2 := New("t2")
+	l2.AddRect(1, geom.R(0, 0, 10, 10))
+	l2.AddRect(1, geom.R(0, 0, 10, 10))
+	if d := l2.DensityIn(1, geom.R(0, 0, 10, 10)); d != 1 {
+		t.Fatalf("overlap density: %v", d)
+	}
+}
+
+func TestGDSRoundTrip(t *testing.T) {
+	l := New("RT")
+	l.AddRect(1, geom.R(0, 0, 100, 50))
+	l.AddRect(1, geom.R(200, 0, 300, 50))
+	l.AddRect(5, geom.R(0, 100, 50, 200))
+
+	lib := l.ToGDS("TOP")
+	var buf bytes.Buffer
+	if err := lib.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lib2, err := parseGDS(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := FromGDS(lib2, "TOP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.NumRects() != 3 {
+		t.Fatalf("round-trip rects: %d", l2.NumRects())
+	}
+	if l2.PolygonArea(1) != l.PolygonArea(1) {
+		t.Fatalf("area mismatch: %d vs %d", l2.PolygonArea(1), l.PolygonArea(1))
+	}
+	if l2.Bounds != l.Bounds {
+		t.Fatalf("bounds mismatch: %v vs %v", l2.Bounds, l.Bounds)
+	}
+}
+
+func TestQuickDensityBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := New("q")
+		for i := 0; i < 20; i++ {
+			x := geom.Coord(rng.Intn(1000))
+			y := geom.Coord(rng.Intn(1000))
+			l.AddRect(1, geom.R(x, y, x+geom.Coord(1+rng.Intn(200)), y+geom.Coord(1+rng.Intn(200))))
+		}
+		d := l.DensityIn(1, geom.R(0, 0, 1200, 1200))
+		return d >= 0 && d <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGridQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	l := New("b")
+	for i := 0; i < 50000; i++ {
+		x := geom.Coord(rng.Intn(300000))
+		y := geom.Coord(rng.Intn(300000))
+		l.AddRect(1, geom.R(x, y, x+64, y+geom.Coord(100+rng.Intn(2000))))
+	}
+	_ = l.Query(1, geom.R(0, 0, 1, 1), nil) // build index
+	var dst []geom.Rect
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := geom.Coord((i * 7919) % 295000)
+		dst = l.Query(1, geom.R(x, x, x+4800, x+4800), dst[:0])
+	}
+}
+
+// parseGDS is a small helper wrapping gds.Parse over a byte slice.
+func parseGDS(b []byte) (*gds.Library, error) {
+	return gds.Parse(bytes.NewReader(b))
+}

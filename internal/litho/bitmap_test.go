@@ -1,0 +1,70 @@
+package litho
+
+import (
+	"testing"
+
+	"hotspot/internal/geom"
+)
+
+func TestBitmapPixelRect(t *testing.T) {
+	b := &Bitmap{Window: geom.R(100, 200, 300, 400), Pixel: 10, W: 20, H: 20}
+	r := b.PixelRect(0, 0)
+	if r != geom.R(100, 200, 110, 210) {
+		t.Fatalf("pixel (0,0): %v", r)
+	}
+	r = b.PixelRect(19, 19)
+	if r != geom.R(290, 390, 300, 400) {
+		t.Fatalf("pixel (19,19): %v", r)
+	}
+}
+
+func TestBitmapCount(t *testing.T) {
+	b := &Bitmap{W: 3, H: 2, Pixel: 1, Bits: []bool{true, false, true, false, false, true}}
+	if b.Count() != 3 {
+		t.Fatalf("count: %d", b.Count())
+	}
+	if b.At(0, 0) != true || b.At(1, 0) != false {
+		t.Fatal("At addressing broken")
+	}
+	if b.At(-1, 0) || b.At(3, 0) || b.At(0, 2) {
+		t.Fatal("out-of-range At must be false")
+	}
+}
+
+func TestImageOutOfRangeAccess(t *testing.T) {
+	im := NewImage(geom.R(0, 0, 100, 100), 10)
+	if im.At(-1, 0) != 0 || im.At(0, 100) != 0 {
+		t.Fatal("out-of-range At must be 0")
+	}
+	im.Set(-1, 0, 5) // must not panic
+	im.Set(0, -1, 5)
+	im.Set(0, 0, 0.5)
+	if im.At(0, 0) != 0.5 {
+		t.Fatal("Set lost value")
+	}
+}
+
+func TestNewImageDegenerate(t *testing.T) {
+	im := NewImage(geom.Rect{}, 10)
+	if im.W < 1 || im.H < 1 {
+		t.Fatalf("degenerate image dims: %dx%d", im.W, im.H)
+	}
+	im2 := NewImage(geom.R(0, 0, 100, 100), 0) // pixel clamped to 1
+	if im2.Pixel != 1 {
+		t.Fatalf("pixel clamp: %d", im2.Pixel)
+	}
+}
+
+func TestModelMarginExpansion(t *testing.T) {
+	// Geometry just outside the region must still influence defects via
+	// the simulation margin: a bridge partner 100nm outside the region.
+	region := geom.R(0, 0, 1200, 1200)
+	drawn := []geom.Rect{
+		geom.R(0, 500, 1150, 700),    // inside
+		geom.R(1205, 500, 2400, 700), // 55nm gap, partner mostly outside
+	}
+	ds := Default.Defects(drawn, region)
+	if !hasKind(ds, Bridge) {
+		t.Fatalf("margin must expose cross-boundary bridge, got %v", ds)
+	}
+}

@@ -1,0 +1,51 @@
+package litho
+
+import (
+	"testing"
+
+	"hotspot/internal/geom"
+)
+
+// intensityAt runs the optical model (rasterize + blur, no threshold) and
+// returns the aerial intensity at a layout-space point.
+func intensityAt(drawn []geom.Rect, at geom.Point) float32 {
+	region := geom.R(-200, -500, 2200, 500)
+	window := region.Expand(Default.Margin)
+	img := NewImage(window, Default.PixelNM)
+	img.Rasterize(drawn)
+	a := img.Blur(Default.SigmaNM)
+	x := int((at.X - window.X0) / Default.PixelNM)
+	y := int((at.Y - window.Y0) / Default.PixelNM)
+	return a.At(x, y)
+}
+
+func TestCalibrationMonotonicity(t *testing.T) {
+	// Wider lines must yield higher centre intensity, and the calibrated
+	// threshold must separate the 40nm (fail) and 100nm (print) lines.
+	center := geom.Pt(1000, 0)
+	i40 := intensityAt(hLine(40), center)
+	i50 := intensityAt(hLine(50), center)
+	i100 := intensityAt(hLine(100), center)
+	if !(i40 < i50 && i50 < i100) {
+		t.Fatalf("intensity not monotone in width: %v %v %v", i40, i50, i100)
+	}
+	if i40 >= Default.Threshold {
+		t.Fatalf("40nm line centre %v must be below threshold %v", i40, Default.Threshold)
+	}
+	if i100 <= Default.Threshold {
+		t.Fatalf("100nm line centre %v must be above threshold %v", i100, Default.Threshold)
+	}
+}
+
+func TestCalibrationNeighborProximityRaisesIntensity(t *testing.T) {
+	center := geom.Pt(1000, 0)
+	iso := intensityAt(hLine(50), center)
+	dense := intensityAt([]geom.Rect{
+		geom.R(0, -25, 2000, 25),
+		geom.R(0, 95, 2000, 195),
+		geom.R(0, -195, 2000, -95),
+	}, center)
+	if dense <= iso {
+		t.Fatalf("neighbours must raise intensity: iso %v dense %v", iso, dense)
+	}
+}

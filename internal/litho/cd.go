@@ -1,0 +1,99 @@
+package litho
+
+import "hotspot/internal/geom"
+
+// CDStats summarizes printed critical dimensions within a region of
+// interest: the narrowest printed line (MinCD) and the narrowest printed
+// gap (MinGap), both measured on the thresholded image in nm. Zero values
+// mean "nothing measurable" (no printed runs / no gaps between runs).
+type CDStats struct {
+	MinCD  geom.Coord
+	MinGap geom.Coord
+}
+
+// MeasureCD runs the optical model over the drawn geometry and measures
+// the printed image's critical dimensions inside roi: per-row and
+// per-column run lengths of printed resist (CD) and of the spaces between
+// printed runs (gap). It is the quantitative companion to Defects: a
+// pattern can print connected yet carry a barely-legal CD that a process
+// excursion would kill.
+func (m Model) MeasureCD(drawn []geom.Rect, region, roi geom.Rect) CDStats {
+	printed, _ := m.Simulate(drawn, region)
+	return measureBitmapCD(printed, roi)
+}
+
+func measureBitmapCD(b *Bitmap, roi geom.Rect) CDStats {
+	// ROI in pixel coordinates.
+	x0 := int((roi.X0 - b.Window.X0) / b.Pixel)
+	y0 := int((roi.Y0 - b.Window.Y0) / b.Pixel)
+	x1 := int((roi.X1 - b.Window.X0) / b.Pixel)
+	y1 := int((roi.Y1 - b.Window.Y0) / b.Pixel)
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > b.W {
+		x1 = b.W
+	}
+	if y1 > b.H {
+		y1 = b.H
+	}
+	minCD, minGap := 0, 0
+	update := func(runLen int, printed, interior bool) {
+		if runLen == 0 || !interior {
+			return
+		}
+		if printed {
+			if minCD == 0 || runLen < minCD {
+				minCD = runLen
+			}
+		} else {
+			if minGap == 0 || runLen < minGap {
+				minGap = runLen
+			}
+		}
+	}
+	// Horizontal runs.
+	for y := y0; y < y1; y++ {
+		run := 0
+		val := false
+		start := x0
+		for x := x0; x <= x1; x++ {
+			cur := x < x1 && b.At(x, y)
+			if x < x1 && cur == val {
+				run++
+				continue
+			}
+			// Run ends at x; interior iff it does not touch the roi edge.
+			interior := start > x0 && x < x1
+			update(run, val, interior)
+			val = cur
+			run = 1
+			start = x
+		}
+	}
+	// Vertical runs.
+	for x := x0; x < x1; x++ {
+		run := 0
+		val := false
+		start := y0
+		for y := y0; y <= y1; y++ {
+			cur := y < y1 && b.At(x, y)
+			if y < y1 && cur == val {
+				run++
+				continue
+			}
+			interior := start > y0 && y < y1
+			update(run, val, interior)
+			val = cur
+			run = 1
+			start = y
+		}
+	}
+	return CDStats{
+		MinCD:  geom.Coord(minCD) * b.Pixel,
+		MinGap: geom.Coord(minGap) * b.Pixel,
+	}
+}

@@ -1,0 +1,51 @@
+package litho
+
+import (
+	"testing"
+
+	"hotspot/internal/geom"
+)
+
+func TestMeasureCDLine(t *testing.T) {
+	// A 100nm drawn line prints slightly narrower than drawn; the printed
+	// CD must be positive, below the drawn width, and above half of it.
+	drawn := hLine(100)
+	roi := geom.R(500, -200, 1500, 200)
+	cd := Default.MeasureCD(drawn, testRegion, roi)
+	if cd.MinCD <= 0 || cd.MinCD > 100 {
+		t.Fatalf("printed CD out of range: %+v", cd)
+	}
+	if cd.MinCD < 50 {
+		t.Fatalf("printed CD implausibly narrow: %+v", cd)
+	}
+}
+
+func TestMeasureCDGap(t *testing.T) {
+	// Two wide blocks with a 120nm gap: the printed gap shrinks (resist
+	// spreads into the space) but stays positive and below the drawn gap.
+	drawn := []geom.Rect{
+		geom.R(0, -200, 1000, 200),
+		geom.R(1120, -200, 2120, 200),
+	}
+	roi := geom.R(800, -100, 1400, 100)
+	cd := Default.MeasureCD(drawn, testRegion, roi)
+	if cd.MinGap <= 0 || cd.MinGap > 120 {
+		t.Fatalf("printed gap out of range: %+v", cd)
+	}
+}
+
+func TestMeasureCDMonotoneInWidth(t *testing.T) {
+	roi := geom.R(500, -200, 1500, 200)
+	cd80 := Default.MeasureCD(hLine(80), testRegion, roi)
+	cd120 := Default.MeasureCD(hLine(120), testRegion, roi)
+	if cd80.MinCD >= cd120.MinCD {
+		t.Fatalf("CD not monotone in drawn width: %v vs %v", cd80.MinCD, cd120.MinCD)
+	}
+}
+
+func TestMeasureCDEmpty(t *testing.T) {
+	cd := Default.MeasureCD(nil, testRegion, geom.R(0, 0, 500, 500))
+	if cd.MinCD != 0 || cd.MinGap != 0 {
+		t.Fatalf("empty measurement: %+v", cd)
+	}
+}

@@ -1,0 +1,269 @@
+// Package litho is a compact lithography proxy simulator. It substitutes
+// for the foundry lithography labels of the ICCAD-2012 benchmark suite: a
+// layout window is rasterized, blurred with a separable Gaussian optical
+// kernel, and thresholded into a "printed" image; pinching (drawn geometry
+// that fails to print) and bridging (printed resist connecting distinct
+// drawn nets) are reported as defects.
+//
+// The model is deliberately simple — a Gaussian aerial image with a
+// constant-threshold resist — but it reproduces the property that matters
+// for hotspot detection research: whether a pattern prints depends on its
+// *neighbourhood* (optical proximity), not just the pattern itself, so
+// nearly identical cores can differ in hotspot-ness through their ambits
+// (the paper's Fig. 10 situation).
+package litho
+
+import (
+	"math"
+
+	"hotspot/internal/geom"
+)
+
+// Image is a dense float32 raster covering a layout window.
+type Image struct {
+	// Window is the layout region covered, in dbu.
+	Window geom.Rect
+	// Pixel is the raster step in dbu.
+	Pixel geom.Coord
+	// W, H are the raster dimensions.
+	W, H int
+	// Pix holds W*H samples in row-major order, y growing upward.
+	Pix []float32
+}
+
+// NewImage allocates a zero image covering window at the given pixel step.
+func NewImage(window geom.Rect, pixel geom.Coord) *Image {
+	if pixel <= 0 {
+		pixel = 1
+	}
+	w := int((window.W() + pixel - 1) / pixel)
+	h := int((window.H() + pixel - 1) / pixel)
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	return &Image{
+		Window: window, Pixel: pixel, W: w, H: h,
+		Pix: make([]float32, w*h),
+	}
+}
+
+// At returns the sample at pixel (x, y); out-of-range reads return 0.
+func (im *Image) At(x, y int) float32 {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return 0
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// Set writes the sample at pixel (x, y); out-of-range writes are dropped.
+func (im *Image) Set(x, y int, v float32) {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return
+	}
+	im.Pix[y*im.W+x] = v
+}
+
+// Rasterize adds the coverage of rects (clipped to the window) into the
+// image with exact area weighting: a pixel fully covered by geometry reads
+// 1.0, a half-covered pixel reads 0.5.
+func (im *Image) Rasterize(rects []geom.Rect) {
+	for _, r := range rects {
+		c := r.Intersect(im.Window)
+		if c.Empty() {
+			continue
+		}
+		im.addRect(c)
+	}
+}
+
+func (im *Image) addRect(r geom.Rect) {
+	p := float64(im.Pixel)
+	fx0 := float64(r.X0-im.Window.X0) / p
+	fx1 := float64(r.X1-im.Window.X0) / p
+	fy0 := float64(r.Y0-im.Window.Y0) / p
+	fy1 := float64(r.Y1-im.Window.Y0) / p
+	x0 := int(math.Floor(fx0))
+	x1 := int(math.Ceil(fx1))
+	y0 := int(math.Floor(fy0))
+	y1 := int(math.Ceil(fy1))
+	for y := y0; y < y1 && y < im.H; y++ {
+		if y < 0 {
+			continue
+		}
+		cy := overlap1D(float64(y), float64(y+1), fy0, fy1)
+		if cy <= 0 {
+			continue
+		}
+		row := im.Pix[y*im.W:]
+		for x := x0; x < x1 && x < im.W; x++ {
+			if x < 0 {
+				continue
+			}
+			cx := overlap1D(float64(x), float64(x+1), fx0, fx1)
+			if cx <= 0 {
+				continue
+			}
+			v := row[x] + float32(cx*cy)
+			if v > 1 {
+				v = 1
+			}
+			row[x] = v
+		}
+	}
+}
+
+func overlap1D(a0, a1, b0, b1 float64) float64 {
+	lo := math.Max(a0, b0)
+	hi := math.Min(a1, b1)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// GaussianKernel returns a normalized 1-D Gaussian kernel for the given
+// sigma in pixels, truncated at 3 sigma.
+func GaussianKernel(sigmaPx float64) []float32 {
+	if sigmaPx <= 0 {
+		return []float32{1}
+	}
+	radius := int(math.Ceil(3 * sigmaPx))
+	k := make([]float32, 2*radius+1)
+	var sum float64
+	for i := -radius; i <= radius; i++ {
+		v := math.Exp(-float64(i*i) / (2 * sigmaPx * sigmaPx))
+		k[i+radius] = float32(v)
+		sum += v
+	}
+	for i := range k {
+		k[i] = float32(float64(k[i]) / sum)
+	}
+	return k
+}
+
+// Blur convolves the image with a separable Gaussian of the given sigma (in
+// dbu), returning a new image. Regions outside the window are treated as
+// empty (zero padding), matching clear-field surroundings.
+func (im *Image) Blur(sigmaDBU float64) *Image {
+	k := GaussianKernel(sigmaDBU / float64(im.Pixel))
+	radius := len(k) / 2
+	tmp := make([]float32, len(im.Pix))
+	out := &Image{Window: im.Window, Pixel: im.Pixel, W: im.W, H: im.H, Pix: make([]float32, len(im.Pix))}
+	// Horizontal pass.
+	for y := 0; y < im.H; y++ {
+		row := im.Pix[y*im.W : (y+1)*im.W]
+		dst := tmp[y*im.W : (y+1)*im.W]
+		for x := 0; x < im.W; x++ {
+			var acc float32
+			for j := -radius; j <= radius; j++ {
+				xx := x + j
+				if xx < 0 || xx >= im.W {
+					continue
+				}
+				acc += row[xx] * k[j+radius]
+			}
+			dst[x] = acc
+		}
+	}
+	// Vertical pass.
+	for y := 0; y < im.H; y++ {
+		dst := out.Pix[y*im.W : (y+1)*im.W]
+		for x := 0; x < im.W; x++ {
+			var acc float32
+			for j := -radius; j <= radius; j++ {
+				yy := y + j
+				if yy < 0 || yy >= im.H {
+					continue
+				}
+				acc += tmp[yy*im.W+x] * k[j+radius]
+			}
+			dst[x] = acc
+		}
+	}
+	return out
+}
+
+// Bitmap is a binary raster with the same addressing as Image.
+type Bitmap struct {
+	Window geom.Rect
+	Pixel  geom.Coord
+	W, H   int
+	Bits   []bool
+}
+
+// Threshold binarizes the image at the given level.
+func (im *Image) Threshold(level float32) *Bitmap {
+	b := &Bitmap{Window: im.Window, Pixel: im.Pixel, W: im.W, H: im.H, Bits: make([]bool, len(im.Pix))}
+	for i, v := range im.Pix {
+		b.Bits[i] = v >= level
+	}
+	return b
+}
+
+// At returns the bit at (x, y); out of range reads false.
+func (b *Bitmap) At(x, y int) bool {
+	if x < 0 || y < 0 || x >= b.W || y >= b.H {
+		return false
+	}
+	return b.Bits[y*b.W+x]
+}
+
+// PixelRect returns the layout-space rectangle covered by pixel (x, y).
+func (b *Bitmap) PixelRect(x, y int) geom.Rect {
+	return geom.Rect{
+		X0: b.Window.X0 + geom.Coord(x)*b.Pixel,
+		Y0: b.Window.Y0 + geom.Coord(y)*b.Pixel,
+		X1: b.Window.X0 + geom.Coord(x+1)*b.Pixel,
+		Y1: b.Window.Y0 + geom.Coord(y+1)*b.Pixel,
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	n := 0
+	for _, v := range b.Bits {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// Components labels 4-connected components of set bits. It returns a label
+// per pixel (-1 for unset) and the number of components.
+func (b *Bitmap) Components() ([]int32, int) {
+	labels := make([]int32, len(b.Bits))
+	for i := range labels {
+		labels[i] = -1
+	}
+	next := int32(0)
+	var stack []int
+	for start, set := range b.Bits {
+		if !set || labels[start] != -1 {
+			continue
+		}
+		labels[start] = next
+		stack = append(stack[:0], start)
+		for len(stack) > 0 {
+			i := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			x, y := i%b.W, i/b.W
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := x+d[0], y+d[1]
+				if nx < 0 || ny < 0 || nx >= b.W || ny >= b.H {
+					continue
+				}
+				j := ny*b.W + nx
+				if b.Bits[j] && labels[j] == -1 {
+					labels[j] = next
+					stack = append(stack, j)
+				}
+			}
+		}
+		next++
+	}
+	return labels, int(next)
+}

@@ -1,0 +1,275 @@
+package litho
+
+import (
+	"math"
+	"testing"
+
+	"hotspot/internal/geom"
+)
+
+func TestRasterizeCoverage(t *testing.T) {
+	im := NewImage(geom.R(0, 0, 100, 100), 10)
+	if im.W != 10 || im.H != 10 {
+		t.Fatalf("dims: %dx%d", im.W, im.H)
+	}
+	// Full-pixel rect.
+	im.Rasterize([]geom.Rect{geom.R(10, 10, 30, 20)})
+	if im.At(1, 1) != 1 || im.At(2, 1) != 1 {
+		t.Fatalf("full pixels: %v %v", im.At(1, 1), im.At(2, 1))
+	}
+	if im.At(0, 1) != 0 || im.At(3, 1) != 0 || im.At(1, 2) != 0 {
+		t.Fatal("neighbours must stay empty")
+	}
+	// Half-pixel coverage.
+	im2 := NewImage(geom.R(0, 0, 100, 100), 10)
+	im2.Rasterize([]geom.Rect{geom.R(0, 0, 5, 10)})
+	if math.Abs(float64(im2.At(0, 0))-0.5) > 1e-6 {
+		t.Fatalf("half coverage: %v", im2.At(0, 0))
+	}
+	// Quarter coverage.
+	im3 := NewImage(geom.R(0, 0, 100, 100), 10)
+	im3.Rasterize([]geom.Rect{geom.R(5, 5, 10, 10)})
+	if math.Abs(float64(im3.At(0, 0))-0.25) > 1e-6 {
+		t.Fatalf("quarter coverage: %v", im3.At(0, 0))
+	}
+}
+
+func TestRasterizeClampsToOne(t *testing.T) {
+	im := NewImage(geom.R(0, 0, 100, 100), 10)
+	im.Rasterize([]geom.Rect{geom.R(0, 0, 50, 50), geom.R(0, 0, 50, 50)})
+	if im.At(2, 2) != 1 {
+		t.Fatalf("coverage must clamp at 1, got %v", im.At(2, 2))
+	}
+}
+
+func TestGaussianKernelNormalized(t *testing.T) {
+	for _, sigma := range []float64{0.5, 1, 4.5, 10} {
+		k := GaussianKernel(sigma)
+		var sum float64
+		for _, v := range k {
+			sum += float64(v)
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Fatalf("sigma %v: kernel sum %v", sigma, sum)
+		}
+		if len(k)%2 != 1 {
+			t.Fatalf("sigma %v: kernel length %d not odd", sigma, len(k))
+		}
+	}
+	if k := GaussianKernel(0); len(k) != 1 || k[0] != 1 {
+		t.Fatalf("zero sigma kernel: %v", k)
+	}
+}
+
+func TestBlurPreservesInteriorMass(t *testing.T) {
+	// A shape far from the window border keeps its total mass under blur.
+	im := NewImage(geom.R(0, 0, 2000, 2000), 10)
+	im.Rasterize([]geom.Rect{geom.R(900, 900, 1100, 1100)})
+	var before float64
+	for _, v := range im.Pix {
+		before += float64(v)
+	}
+	blurred := im.Blur(45)
+	var after float64
+	for _, v := range blurred.Pix {
+		after += float64(v)
+	}
+	if math.Abs(after-before) > before*1e-3 {
+		t.Fatalf("mass changed: %v -> %v", before, after)
+	}
+}
+
+func TestBitmapComponents(t *testing.T) {
+	b := &Bitmap{W: 4, H: 3, Pixel: 1, Bits: []bool{
+		true, true, false, true,
+		false, false, false, true,
+		true, false, false, false,
+	}}
+	labels, n := b.Components()
+	if n != 3 {
+		t.Fatalf("components: %d, want 3", n)
+	}
+	if labels[0] != labels[1] {
+		t.Fatal("adjacent pixels must share a label")
+	}
+	if labels[3] != labels[7] {
+		t.Fatal("vertically adjacent pixels must share a label")
+	}
+	if labels[0] == labels[3] || labels[0] == labels[8] {
+		t.Fatal("distinct components must differ")
+	}
+	if labels[2] != -1 {
+		t.Fatal("unset pixel must be -1")
+	}
+}
+
+// Long horizontal line of the given width centred in a large region.
+func hLine(w geom.Coord) []geom.Rect {
+	return []geom.Rect{geom.R(0, -w/2, 2000, w/2)}
+}
+
+var testRegion = geom.R(-200, -500, 2200, 500)
+
+func defectsOf(t *testing.T, drawn []geom.Rect) []Defect {
+	t.Helper()
+	return Default.Defects(drawn, testRegion)
+}
+
+func hasKind(ds []Defect, k DefectKind) bool {
+	for _, d := range ds {
+		if d.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+func TestWideLinePrints(t *testing.T) {
+	ds := defectsOf(t, hLine(100))
+	if len(ds) != 0 {
+		t.Fatalf("100nm line must print cleanly, got %v", ds)
+	}
+}
+
+func TestNarrowLinePinches(t *testing.T) {
+	ds := defectsOf(t, hLine(40))
+	if !hasKind(ds, Pinch) {
+		t.Fatalf("40nm line must pinch, got %v", ds)
+	}
+}
+
+func TestNeckBreaksAndIsLocated(t *testing.T) {
+	// A 100nm line with a 50nm-wide, 300nm-long neck in the middle.
+	drawn := []geom.Rect{
+		geom.R(0, -50, 850, 50),
+		geom.R(850, -25, 1150, 25), // neck
+		geom.R(1150, -50, 2000, 50),
+	}
+	ds := defectsOf(t, drawn)
+	if !hasKind(ds, Pinch) {
+		t.Fatalf("neck must break, got %v", ds)
+	}
+	found := false
+	neck := geom.R(850, -25, 1150, 25)
+	for _, d := range ds {
+		if d.Kind == Pinch && d.At.Overlaps(neck) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pinch not located at neck: %v", ds)
+	}
+}
+
+func TestContextDecidesNeckFate(t *testing.T) {
+	// The same 50nm-wide neck prints or breaks depending on its context:
+	// a short neck between wide pads is rescued by optical spillover from
+	// the pads; a long neck is effectively isolated and breaks. This is
+	// the neighbourhood dependence that motivates the paper's ambit
+	// features and feedback kernel (Fig. 10).
+	dumbbell := func(neckLen geom.Coord) []geom.Rect {
+		return []geom.Rect{
+			geom.R(-500, -50, 0, 50),
+			geom.R(0, -25, neckLen, 25),
+			geom.R(neckLen, -50, neckLen+500, 50),
+		}
+	}
+	if ds := defectsOf(t, dumbbell(100)); hasKind(ds, Pinch) {
+		t.Fatalf("short 50nm neck must be rescued by pads, got %v", ds)
+	}
+	if ds := defectsOf(t, dumbbell(300)); !hasKind(ds, Pinch) {
+		t.Fatalf("long 50nm neck must break, got %v", ds)
+	}
+}
+
+func TestGapBridging(t *testing.T) {
+	// Two wide blocks with a 50nm gap: bridge. With 90nm: clean.
+	mk := func(gap geom.Coord) []geom.Rect {
+		return []geom.Rect{
+			geom.R(0, -200, 1000, 200),
+			geom.R(1000+gap, -200, 2000+gap, 200),
+		}
+	}
+	ds := defectsOf(t, mk(50))
+	if !hasKind(ds, Bridge) {
+		t.Fatalf("50nm gap must bridge, got %v", ds)
+	}
+	ds = defectsOf(t, mk(90))
+	if hasKind(ds, Bridge) {
+		t.Fatalf("90nm gap must not bridge, got %v", ds)
+	}
+}
+
+func TestBridgeLocatedInGap(t *testing.T) {
+	gapRect := geom.R(1000, -200, 1050, 200)
+	drawn := []geom.Rect{
+		geom.R(0, -200, 1000, 200),
+		geom.R(1050, -200, 2050, 200),
+	}
+	ds := defectsOf(t, drawn)
+	found := false
+	for _, d := range ds {
+		if d.Kind == Bridge && d.At.Overlaps(gapRect) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("bridge not located in gap: %v", ds)
+	}
+}
+
+func TestLineEndRetractionIsNotADefect(t *testing.T) {
+	// A finite wide line: the printed contour retracts from the ends, but
+	// connectivity is preserved, so no defect may be reported.
+	drawn := []geom.Rect{geom.R(500, -60, 1500, 60)}
+	ds := defectsOf(t, drawn)
+	if len(ds) != 0 {
+		t.Fatalf("line-end retraction must not be a defect, got %v", ds)
+	}
+}
+
+func TestHasDefectInROI(t *testing.T) {
+	drawn := []geom.Rect{
+		geom.R(0, -200, 1000, 200),
+		geom.R(1050, -200, 2050, 200),
+	}
+	if !Default.HasDefectIn(drawn, testRegion, geom.R(950, -50, 1150, 50)) {
+		t.Fatal("ROI over the gap must see the bridge")
+	}
+	if Default.HasDefectIn(drawn, testRegion, geom.R(0, -200, 300, 200)) {
+		t.Fatal("ROI away from the gap must be clean")
+	}
+}
+
+func TestDefectsDeterministic(t *testing.T) {
+	drawn := []geom.Rect{
+		geom.R(0, -200, 1000, 200),
+		geom.R(1050, -200, 2050, 200),
+		geom.R(0, 400, 2000, 450),
+	}
+	a := Default.Defects(drawn, testRegion)
+	b := Default.Defects(drawn, testRegion)
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic defect count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic defect %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkSimulateClip(b *testing.B) {
+	// A clip-sized window (4.8 x 4.8 um) with a realistic wire pattern.
+	var drawn []geom.Rect
+	for i := 0; i < 20; i++ {
+		y := geom.Coord(i * 240)
+		drawn = append(drawn, geom.R(0, y, 4800, y+100))
+	}
+	region := geom.R(0, 0, 4800, 4800)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Default.Defects(drawn, region)
+	}
+}

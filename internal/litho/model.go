@@ -1,0 +1,279 @@
+package litho
+
+import (
+	"hotspot/internal/geom"
+)
+
+// DefectKind classifies a printability failure.
+type DefectKind uint8
+
+// Defect kinds.
+const (
+	// Pinch: drawn geometry whose printed image necks below resolution
+	// (drawn pixels that fail to print).
+	Pinch DefectKind = iota
+	// Bridge: printed resist connects two drawn shapes that are disjoint
+	// on the mask.
+	Bridge
+)
+
+// String implements fmt.Stringer.
+func (k DefectKind) String() string {
+	if k == Pinch {
+		return "pinch"
+	}
+	return "bridge"
+}
+
+// Defect is one printability failure found by the model.
+type Defect struct {
+	Kind DefectKind
+	// At is the layout-space bounding box of the defective pixels.
+	At geom.Rect
+}
+
+// Model holds the optical/resist parameters of the proxy simulator.
+// The defaults (Default) are calibrated so that 32 nm-node-like metal
+// geometry prints safely at >= 72 nm width/space while 48-64 nm features
+// fail or survive depending on their neighbourhood.
+type Model struct {
+	// PixelNM is the raster step in dbu (nm).
+	PixelNM geom.Coord
+	// SigmaNM is the Gaussian optical radius in nm.
+	SigmaNM float64
+	// Threshold is the constant resist threshold applied to the blurred
+	// aerial image (drawn geometry rasterizes to intensity 1.0).
+	Threshold float32
+	// DrawnLevel is the rasterized coverage above which a pixel counts as
+	// solidly drawn for pinch checking (slightly below 1.0 to ignore
+	// single anti-aliased boundary pixels).
+	DrawnLevel float32
+	// Margin is the extra border in nm simulated around the region of
+	// interest so that blur from outside geometry is accounted for.
+	Margin geom.Coord
+}
+
+// Default is the calibrated model used by the benchmark generator and
+// tests. With sigma = 45 nm and threshold 0.48:
+//
+//   - an isolated line prints iff its width is >~ 62 nm,
+//   - a long gap between wide blocks bridges iff it is <~ 63 nm,
+//   - in-between geometries are decided by diffraction from neighbours,
+//
+// giving a realistic "forbidden pitch" band around the minimum rules.
+var Default = Model{
+	PixelNM:    10,
+	SigmaNM:    45,
+	Threshold:  0.48,
+	DrawnLevel: 0.98,
+	Margin:     180,
+}
+
+// Simulate rasterizes the given drawn rectangles over region (plus the
+// model margin), applies the optical blur, and returns the printed bitmap
+// together with the drawn solid bitmap used for defect checks.
+func (m Model) Simulate(drawn []geom.Rect, region geom.Rect) (printed, solid *Bitmap) {
+	window := region.Expand(m.Margin)
+	img := NewImage(window, m.PixelNM)
+	img.Rasterize(drawn)
+	solidB := &Bitmap{Window: window, Pixel: m.PixelNM, W: img.W, H: img.H, Bits: make([]bool, len(img.Pix))}
+	for i, v := range img.Pix {
+		solidB.Bits[i] = v >= m.DrawnLevel
+	}
+	aerial := img.Blur(m.SigmaNM)
+	return aerial.Threshold(m.Threshold), solidB
+}
+
+// Defects runs the model over region and returns the defects whose
+// locations intersect region (defects wholly inside the margin ring are
+// dropped: they belong to neighbouring windows).
+func (m Model) Defects(drawn []geom.Rect, region geom.Rect) []Defect {
+	printed, solid := m.Simulate(drawn, region)
+	var out []Defect
+	out = appendPinches(out, printed, solid)
+	out = appendBridges(out, printed, solid)
+	// Keep only defects that touch the region of interest.
+	kept := out[:0]
+	for _, d := range out {
+		if d.At.Overlaps(region) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// HasDefectIn reports whether any defect of the window intersects roi.
+func (m Model) HasDefectIn(drawn []geom.Rect, region, roi geom.Rect) bool {
+	for _, d := range m.Defects(drawn, region) {
+		if d.At.Overlaps(roi) {
+			return true
+		}
+	}
+	return false
+}
+
+// appendPinches reports opens: drawn nets that the printed image breaks
+// into pieces or fails to print at all. Mere line-end retraction (the
+// printed contour pulling back from drawn ends, which every Gaussian model
+// exhibits) does not change connectivity and is correctly ignored.
+//
+// A break is located at the "neck gap": an unprinted cluster of solid
+// pixels adjacent to two or more printed pieces of the same drawn net. A
+// completely unprinted net is reported at the net's bounding box.
+func appendPinches(out []Defect, printed, solid *Bitmap) []Defect {
+	drawnLabels, nd := solid.Components()
+	if nd == 0 {
+		return out
+	}
+	// Printed-and-solid components: pieces of each net that survive.
+	pieces := &Bitmap{Window: solid.Window, Pixel: solid.Pixel, W: solid.W, H: solid.H, Bits: make([]bool, len(solid.Bits))}
+	for i := range solid.Bits {
+		pieces.Bits[i] = solid.Bits[i] && printed.Bits[i]
+	}
+	pieceLabels, _ := pieces.Components()
+	// Count printed pieces per drawn net.
+	pieceNet := make(map[int32]int32) // piece label -> net label
+	piecesPerNet := make([]int, nd)
+	for i, pl := range pieceLabels {
+		if pl < 0 {
+			continue
+		}
+		if _, seen := pieceNet[pl]; !seen {
+			pieceNet[pl] = drawnLabels[i]
+			piecesPerNet[drawnLabels[i]]++
+		}
+	}
+	// Nets with zero printed pieces: complete opens.
+	netBoxes := componentBoxes(solid, drawnLabels, nd)
+	broken := make([]bool, nd)
+	for n := 0; n < nd; n++ {
+		if piecesPerNet[n] == 0 {
+			out = append(out, Defect{Kind: Pinch, At: netBoxes[n]})
+		} else if piecesPerNet[n] > 1 {
+			broken[n] = true
+		}
+	}
+	// Locate neck gaps on broken nets: unprinted solid clusters adjacent to
+	// two or more printed pieces.
+	anyBroken := false
+	for _, b := range broken {
+		if b {
+			anyBroken = true
+			break
+		}
+	}
+	if !anyBroken {
+		return out
+	}
+	gaps := &Bitmap{Window: solid.Window, Pixel: solid.Pixel, W: solid.W, H: solid.H, Bits: make([]bool, len(solid.Bits))}
+	for i := range solid.Bits {
+		gaps.Bits[i] = solid.Bits[i] && !printed.Bits[i] && broken[drawnLabels[i]]
+	}
+	gapLabels, ng := gaps.Components()
+	gapBoxes := componentBoxes(gaps, gapLabels, ng)
+	// For each gap cluster, the set of distinct printed pieces it touches.
+	firstPiece := make([]int32, ng)
+	multi := make([]bool, ng)
+	for i := range firstPiece {
+		firstPiece[i] = -1
+	}
+	w := solid.W
+	for i, gl := range gapLabels {
+		if gl < 0 {
+			continue
+		}
+		x, y := i%w, i/w
+		for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nx, ny := x+d[0], y+d[1]
+			if nx < 0 || ny < 0 || nx >= w || ny >= solid.H {
+				continue
+			}
+			pl := pieceLabels[ny*w+nx]
+			if pl < 0 {
+				continue
+			}
+			switch {
+			case firstPiece[gl] == -1:
+				firstPiece[gl] = pl
+			case firstPiece[gl] != pl:
+				multi[gl] = true
+			}
+		}
+	}
+	for g := 0; g < ng; g++ {
+		if multi[g] {
+			out = append(out, Defect{Kind: Pinch, At: gapBoxes[g]})
+		}
+	}
+	return out
+}
+
+// appendBridges finds printed components that span two or more drawn
+// components, reporting the printed-outside-drawn pixels as the defect area.
+func appendBridges(out []Defect, printed, solid *Bitmap) []Defect {
+	drawnLabels, _ := solid.Components()
+	printedLabels, np := printed.Components()
+	if np == 0 {
+		return out
+	}
+	// For each printed component, the set of drawn components it covers.
+	first := make([]int32, np)
+	multi := make([]bool, np)
+	for i := range first {
+		first[i] = -1
+	}
+	for i, pl := range printedLabels {
+		if pl < 0 || drawnLabels[i] < 0 {
+			continue
+		}
+		switch {
+		case first[pl] == -1:
+			first[pl] = drawnLabels[i]
+		case first[pl] != drawnLabels[i]:
+			multi[pl] = true
+		}
+	}
+	for pl := 0; pl < np; pl++ {
+		if !multi[pl] {
+			continue
+		}
+		// Defect area: printed pixels of this component outside drawn
+		// geometry (the resist that should not be there).
+		var bb geom.Rect
+		started := false
+		for i, l := range printedLabels {
+			if l != int32(pl) || drawnLabels[i] >= 0 {
+				continue
+			}
+			pr := printed.PixelRect(i%printed.W, i/printed.W)
+			if !started {
+				bb = pr
+				started = true
+			} else {
+				bb = bb.Union(pr)
+			}
+		}
+		if started {
+			out = append(out, Defect{Kind: Bridge, At: bb})
+		}
+	}
+	return out
+}
+
+func componentBoxes(b *Bitmap, labels []int32, n int) []geom.Rect {
+	boxes := make([]geom.Rect, n)
+	init := make([]bool, n)
+	for i, l := range labels {
+		if l < 0 {
+			continue
+		}
+		pr := b.PixelRect(i%b.W, i/b.W)
+		if !init[l] {
+			boxes[l] = pr
+			init[l] = true
+		} else {
+			boxes[l] = boxes[l].Union(pr)
+		}
+	}
+	return boxes
+}

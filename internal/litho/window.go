@@ -1,0 +1,81 @@
+package litho
+
+import "hotspot/internal/geom"
+
+// ProcessWindow describes the manufacturing variation band a pattern must
+// survive: dose variation moves the effective resist threshold, defocus
+// widens the optical kernel. A pattern is process-window-clean only when
+// it prints at every corner; hotspot detection flows that qualify against
+// the window rather than the nominal condition catch marginal patterns the
+// nominal check misses.
+type ProcessWindow struct {
+	// Base is the nominal model.
+	Base Model
+	// DoseLatitude is the relative threshold excursion (e.g. 0.05 moves
+	// the threshold ±5%).
+	DoseLatitude float64
+	// FocusLatitude is the relative sigma excursion (e.g. 0.10 widens the
+	// blur up to +10%; defocus only ever degrades resolution).
+	FocusLatitude float64
+}
+
+// DefaultWindow is a ±5% dose, +10% defocus window around the default
+// model.
+var DefaultWindow = ProcessWindow{
+	Base:          Default,
+	DoseLatitude:  0.05,
+	FocusLatitude: 0.10,
+}
+
+// Corners enumerates the window's corner models: nominal, dose low/high,
+// defocused, and defocused at both dose extremes.
+func (pw ProcessWindow) Corners() []Model {
+	base := pw.Base
+	var out []Model
+	add := func(dose, focus float64) {
+		m := base
+		m.Threshold = base.Threshold * float32(1+dose)
+		m.SigmaNM = base.SigmaNM * (1 + focus)
+		out = append(out, m)
+	}
+	add(0, 0)
+	if pw.DoseLatitude > 0 {
+		add(-pw.DoseLatitude, 0)
+		add(+pw.DoseLatitude, 0)
+	}
+	if pw.FocusLatitude > 0 {
+		add(0, pw.FocusLatitude)
+		if pw.DoseLatitude > 0 {
+			add(-pw.DoseLatitude, pw.FocusLatitude)
+			add(+pw.DoseLatitude, pw.FocusLatitude)
+		}
+	}
+	return out
+}
+
+// Defects returns the union of defects over all window corners (deduped by
+// kind and location).
+func (pw ProcessWindow) Defects(drawn []geom.Rect, region geom.Rect) []Defect {
+	seen := make(map[Defect]bool)
+	var out []Defect
+	for _, m := range pw.Corners() {
+		for _, d := range m.Defects(drawn, region) {
+			if !seen[d] {
+				seen[d] = true
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// HasDefectIn reports whether any window corner produces a defect
+// intersecting roi.
+func (pw ProcessWindow) HasDefectIn(drawn []geom.Rect, region, roi geom.Rect) bool {
+	for _, m := range pw.Corners() {
+		if m.HasDefectIn(drawn, region, roi) {
+			return true
+		}
+	}
+	return false
+}

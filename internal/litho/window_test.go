@@ -1,0 +1,70 @@
+package litho
+
+import (
+	"testing"
+
+	"hotspot/internal/geom"
+)
+
+func TestProcessWindowCorners(t *testing.T) {
+	pw := DefaultWindow
+	corners := pw.Corners()
+	if len(corners) != 6 {
+		t.Fatalf("corners: %d, want 6", len(corners))
+	}
+	// Nominal first.
+	if corners[0] != Default {
+		t.Fatalf("corner 0 not nominal: %+v", corners[0])
+	}
+	// Dose corners move the threshold, focus corners widen sigma.
+	if corners[1].Threshold >= Default.Threshold || corners[2].Threshold <= Default.Threshold {
+		t.Fatalf("dose corners wrong: %v %v", corners[1].Threshold, corners[2].Threshold)
+	}
+	if corners[3].SigmaNM <= Default.SigmaNM {
+		t.Fatalf("focus corner wrong: %v", corners[3].SigmaNM)
+	}
+	// No latitude: nominal only.
+	if got := (ProcessWindow{Base: Default}).Corners(); len(got) != 1 {
+		t.Fatalf("zero-latitude corners: %d", len(got))
+	}
+}
+
+func TestProcessWindowStricterThanNominal(t *testing.T) {
+	// A line that barely prints nominally must fail somewhere in the
+	// window, while a comfortably wide line survives every corner.
+	marginal := hLine(60) // nominal centre intensity ~0.50 vs threshold 0.48
+	if hasKind(Default.Defects(marginal, testRegion), Pinch) {
+		t.Skip("marginal line unexpectedly fails nominal model")
+	}
+	if !DefaultWindow.HasDefectIn(marginal, testRegion, testRegion) {
+		t.Fatal("marginal 60nm line must fail inside the process window")
+	}
+	wide := hLine(110)
+	if DefaultWindow.HasDefectIn(wide, testRegion, testRegion) {
+		t.Fatal("wide 110nm line must survive the whole window")
+	}
+}
+
+func TestProcessWindowDefectsSupersetOfNominal(t *testing.T) {
+	drawn := []geom.Rect{
+		geom.R(0, -200, 1000, 200),
+		geom.R(1050, -200, 2050, 200), // 50nm gap: nominal bridge
+	}
+	nominal := Default.Defects(drawn, testRegion)
+	window := DefaultWindow.Defects(drawn, testRegion)
+	if len(window) < len(nominal) {
+		t.Fatalf("window defects (%d) fewer than nominal (%d)", len(window), len(nominal))
+	}
+	for _, nd := range nominal {
+		found := false
+		for _, wd := range window {
+			if wd == nd {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("nominal defect %v missing from window set", nd)
+		}
+	}
+}

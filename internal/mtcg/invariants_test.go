@@ -1,0 +1,87 @@
+package mtcg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hotspot/internal/geom"
+)
+
+// TestQuickGraphEdgesAreAdjacent: every Ch/Cv edge connects tiles that
+// actually abut with overlapping cross projections, and diagonal edges
+// connect same-type tiles with disjoint projections.
+func TestQuickGraphEdgesAreAdjacent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var rects []geom.Rect
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			x := geom.Coord(rng.Intn(9) * 10)
+			y := geom.Coord(rng.Intn(9) * 10)
+			rects = append(rects, geom.R(x, y, x+geom.Coord(1+rng.Intn(4))*10, y+geom.Coord(1+rng.Intn(4))*10))
+		}
+		for _, horizontal := range []bool{true, false} {
+			tl := Build(rects, geom.R(0, 0, 100, 100), horizontal)
+			g := NewGraph(tl)
+			for i, outs := range g.Right {
+				a := tl.Tiles[i].R
+				for _, j := range outs {
+					b := tl.Tiles[j].R
+					if a.X1 != b.X0 || a.Y0 >= b.Y1 || b.Y0 >= a.Y1 {
+						return false
+					}
+				}
+			}
+			for i, outs := range g.Up {
+				a := tl.Tiles[i].R
+				for _, j := range outs {
+					b := tl.Tiles[j].R
+					if a.Y1 != b.Y0 || a.X0 >= b.X1 || b.X0 >= a.X1 {
+						return false
+					}
+				}
+			}
+			for _, e := range g.Diag {
+				a, b := tl.Tiles[e[0]], tl.Tiles[e[1]]
+				if a.Block != b.Block {
+					return false
+				}
+				if b.R.Y0 < a.R.Y1 { // must be strictly above
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTilingBlockSpaceAlternation: within any horizontal strip of a
+// horizontal tiling, tiles alternate block/space along x.
+func TestQuickTilingDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var rects []geom.Rect
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			x := geom.Coord(rng.Intn(9) * 10)
+			y := geom.Coord(rng.Intn(9) * 10)
+			rects = append(rects, geom.R(x, y, x+geom.Coord(1+rng.Intn(3))*10, y+geom.Coord(1+rng.Intn(3))*10))
+		}
+		a := Build(rects, geom.R(0, 0, 100, 100), true)
+		b := Build(rects, geom.R(0, 0, 100, 100), true)
+		if len(a.Tiles) != len(b.Tiles) {
+			return false
+		}
+		for i := range a.Tiles {
+			if a.Tiles[i] != b.Tiles[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package patmatch implements the fuzzy pattern-matching comparators of
+// Table II: emulators of the 2012 CAD contest winners (whose engines were
+// pattern matchers at different accuracy / false-alarm operating points)
+// and of the fuzzy matching model of [14]. Each matcher stores the training
+// hotspot patterns as canonical density grids and flags evaluation clips by
+// orientation-minimized density distance; the operating points differ in
+// match slack, topology strictness, and whether the nonhotspot population
+// is consulted.
+//
+// These comparators reproduce the *behavioural regimes* of the published
+// rows (1st place: maximum accuracy with many extras; 2nd: precision-first;
+// 3rd: recall with a flood of extras; [14]: balanced nearest-class fuzzy
+// matching), not the original binaries. See DESIGN.md §2.
+package patmatch
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"hotspot/internal/clip"
+	"hotspot/internal/geom"
+	"hotspot/internal/layout"
+	"hotspot/internal/topo"
+)
+
+// Options selects a matcher operating point.
+type Options struct {
+	// Name labels the matcher in reports.
+	Name string
+	// Slack scales the self-calibrated match threshold: larger is fuzzier
+	// (more hits, more extras).
+	Slack float64
+	// RequireTopo additionally demands an exact canonical-topology match
+	// (the precision-first regime).
+	RequireTopo bool
+	// UseNonHotspots consults the nonhotspot population: a clip is flagged
+	// only when it is closer to the hotspot class than to the nonhotspot
+	// class by Ratio ([14]'s fuzzy matching model).
+	UseNonHotspots bool
+	// Ratio is the class-distance ratio for UseNonHotspots (1 = plain
+	// nearest class).
+	Ratio float64
+	// DensityGrid is the pixelation resolution.
+	DensityGrid int
+	// Workers bounds evaluation parallelism.
+	Workers int
+}
+
+// FirstPlace emulates the contest winner: fuzzy matching tuned for maximum
+// hit rate, tolerating a large extra count.
+func FirstPlace() Options {
+	return Options{Name: "1st place", Slack: 6.0, DensityGrid: 12, Workers: 8}
+}
+
+// SecondPlace emulates the precision-first runner-up: tight matching with
+// an exact topology requirement.
+func SecondPlace() Options {
+	return Options{Name: "2nd place", Slack: 3.5, RequireTopo: true, DensityGrid: 12, Workers: 8}
+}
+
+// ThirdPlace emulates the recall-heavy third place: very fuzzy matching.
+func ThirdPlace() Options {
+	return Options{Name: "3rd place", Slack: 7.0, DensityGrid: 12, Workers: 8}
+}
+
+// FuzzyModel emulates [14]: nearest-class fuzzy matching against both
+// populations.
+func FuzzyModel() Options {
+	return Options{Name: "[14]", Slack: 6.0, UseNonHotspots: true, Ratio: 1.15, DensityGrid: 12, Workers: 8}
+}
+
+// Matcher is a trained fuzzy pattern matcher.
+type Matcher struct {
+	opts      Options
+	hotGrids  []topo.Density
+	hotKeys   map[string]bool
+	coldGrids []topo.Density
+	threshold float64
+}
+
+// Train builds a matcher from the labelled training set.
+func Train(train []*clip.Pattern, opts Options) *Matcher {
+	if opts.DensityGrid <= 0 {
+		opts.DensityGrid = 12
+	}
+	if opts.Slack <= 0 {
+		opts.Slack = 1
+	}
+	if opts.Ratio <= 0 {
+		opts.Ratio = 1
+	}
+	m := &Matcher{opts: opts, hotKeys: make(map[string]bool)}
+	for _, p := range train {
+		g := canonicalGrid(p, opts.DensityGrid)
+		if p.Label == clip.Hotspot {
+			m.hotGrids = append(m.hotGrids, g)
+			m.hotKeys[topo.CanonicalKey(p.CoreRects(), p.Core)] = true
+		} else if opts.UseNonHotspots {
+			m.coldGrids = append(m.coldGrids, g)
+		}
+	}
+	m.threshold = m.calibrate() * opts.Slack
+	return m
+}
+
+func canonicalGrid(p *clip.Pattern, n int) topo.Density {
+	return topo.ComputeDensity(p.CoreRects(), p.Core, n)
+}
+
+// calibrate returns the median nearest-neighbour distance among the stored
+// hotspot grids: the natural within-class match scale.
+func (m *Matcher) calibrate() float64 {
+	n := len(m.hotGrids)
+	if n < 2 {
+		return 1
+	}
+	nn := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		best := math.Inf(1)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if d := topo.Dist(m.hotGrids[i], m.hotGrids[j]); d < best {
+				best = d
+			}
+		}
+		if !math.IsInf(best, 1) {
+			nn = append(nn, best)
+		}
+	}
+	sort.Float64s(nn)
+	med := nn[len(nn)/2]
+	if med <= 0 {
+		med = 0.5
+	}
+	return med
+}
+
+// MatchPattern reports whether one clip matches the stored hotspots.
+func (m *Matcher) MatchPattern(p *clip.Pattern) bool {
+	if len(m.hotGrids) == 0 {
+		return false
+	}
+	if m.opts.RequireTopo {
+		if !m.hotKeys[topo.CanonicalKey(p.CoreRects(), p.Core)] {
+			return false
+		}
+	}
+	g := canonicalGrid(p, m.opts.DensityGrid)
+	dHot := math.Inf(1)
+	for _, h := range m.hotGrids {
+		if d := topo.Dist(g, h); d < dHot {
+			dHot = d
+		}
+	}
+	if dHot > m.threshold {
+		return false
+	}
+	if m.opts.UseNonHotspots && len(m.coldGrids) > 0 {
+		dCold := math.Inf(1)
+		for _, c := range m.coldGrids {
+			if d := topo.Dist(g, c); d < dCold {
+				dCold = d
+			}
+		}
+		if dHot >= dCold*m.opts.Ratio {
+			return false
+		}
+	}
+	return true
+}
+
+// Detect scans a testing layout with the same density-based clip extraction
+// as the main framework and returns the matched hotspot cores.
+func (m *Matcher) Detect(l *layout.Layout, layer layout.Layer, spec clip.Spec, req clip.Requirements) []geom.Rect {
+	workers := m.opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	cands := clip.ExtractParallel(l, layer, spec, req, workers)
+	flagged := make([]bool, len(cands))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range cands {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			p := clip.FromLayout(l, layer, spec, cands[i].At, 0)
+			flagged[i] = m.MatchPattern(p)
+		}(i)
+	}
+	wg.Wait()
+	var out []geom.Rect
+	for i, f := range flagged {
+		if f {
+			out = append(out, spec.CoreFor(cands[i].At))
+		}
+	}
+	return out
+}
+
+// Name returns the matcher's display name.
+func (m *Matcher) Name() string { return m.opts.Name }
+
+// Threshold exposes the calibrated match threshold (for reporting).
+func (m *Matcher) Threshold() float64 { return m.threshold }

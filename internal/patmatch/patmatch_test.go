@@ -1,0 +1,126 @@
+package patmatch
+
+import (
+	"sync"
+	"testing"
+
+	"hotspot/internal/core"
+	"hotspot/internal/iccad"
+)
+
+var (
+	once  sync.Once
+	bench *iccad.Benchmark
+)
+
+func testBenchmark() *iccad.Benchmark {
+	once.Do(func() {
+		bench = iccad.Generate(iccad.Config{
+			Name: "pm_test", Process: "32nm",
+			W: 50000, H: 50000,
+			TestHS: 12, TrainHS: 24, TrainNHS: 100,
+			FillFactor: 0.5, Seed: 21, Workers: 8,
+		})
+	})
+	return bench
+}
+
+func scoreOf(t *testing.T, opts Options) core.Score {
+	t.Helper()
+	b := testBenchmark()
+	m := Train(b.Train, opts)
+	reported := m.Detect(b.Test, b.Layer, b.Spec, core.DefaultConfig().Requirements)
+	return core.EvaluateReport(reported, b.TruthCores, b.Test.Area(), b.Spec)
+}
+
+func TestSelfMatch(t *testing.T) {
+	b := testBenchmark()
+	m := Train(b.Train, FirstPlace())
+	// Every hotspot training pattern must match its own matcher.
+	matched, totalHot := 0, 0
+	for _, p := range b.Train {
+		if p.Label != 1 {
+			continue
+		}
+		totalHot++
+		if m.MatchPattern(p) {
+			matched++
+		}
+	}
+	if matched < totalHot*9/10 {
+		t.Fatalf("self match: %d/%d", matched, totalHot)
+	}
+}
+
+func TestCalibration(t *testing.T) {
+	b := testBenchmark()
+	m := Train(b.Train, FirstPlace())
+	if m.Threshold() <= 0 {
+		t.Fatalf("threshold: %v", m.Threshold())
+	}
+	if m.Name() != "1st place" {
+		t.Fatalf("name: %q", m.Name())
+	}
+}
+
+func TestOperatingPointOrdering(t *testing.T) {
+	first := scoreOf(t, FirstPlace())
+	second := scoreOf(t, SecondPlace())
+	third := scoreOf(t, ThirdPlace())
+	fuzzy := scoreOf(t, FuzzyModel())
+	t.Logf("1st:   %s", first)
+	t.Logf("2nd:   %s", second)
+	t.Logf("3rd:   %s", third)
+	t.Logf("[14]:  %s", fuzzy)
+
+	// The regimes of Table II: 1st place leads the hit count among the
+	// winners; 2nd place reports the fewest extras; 3rd place reports the
+	// most extras.
+	if first.Hits < second.Hits {
+		t.Errorf("1st place hits (%d) below 2nd place (%d)", first.Hits, second.Hits)
+	}
+	if second.Extras > first.Extras {
+		t.Errorf("2nd place extras (%d) above 1st place (%d)", second.Extras, first.Extras)
+	}
+	if third.Extras < first.Extras {
+		t.Errorf("3rd place extras (%d) below 1st place (%d)", third.Extras, first.Extras)
+	}
+	// [14] stays between the extremes on extras.
+	if fuzzy.Extras > third.Extras {
+		t.Errorf("[14] extras (%d) above 3rd place (%d)", fuzzy.Extras, third.Extras)
+	}
+}
+
+func TestEmptyTraining(t *testing.T) {
+	m := Train(nil, FirstPlace())
+	b := testBenchmark()
+	if got := m.Detect(b.Test, b.Layer, b.Spec, core.DefaultConfig().Requirements); len(got) != 0 {
+		t.Fatalf("empty matcher reported %d hotspots", len(got))
+	}
+}
+
+func TestDetectDeterministic(t *testing.T) {
+	b := testBenchmark()
+	m := Train(b.Train, FuzzyModel())
+	a := m.Detect(b.Test, b.Layer, b.Spec, core.DefaultConfig().Requirements)
+	c := m.Detect(b.Test, b.Layer, b.Spec, core.DefaultConfig().Requirements)
+	if len(a) != len(c) {
+		t.Fatal("nondeterministic detection")
+	}
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("report %d differs", i)
+		}
+	}
+}
+
+func BenchmarkMatchPattern(b *testing.B) {
+	bb := testBenchmark()
+	m := Train(bb.Train, FirstPlace())
+	p := bb.Train[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MatchPattern(p)
+	}
+}

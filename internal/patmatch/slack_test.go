@@ -1,0 +1,22 @@
+package patmatch
+
+import (
+	"testing"
+
+	"hotspot/internal/core"
+)
+
+// TestProbeSlack sweeps the slack to locate the operating-point scales.
+func TestProbeSlack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe only")
+	}
+	b := testBenchmark()
+	for _, slack := range []float64{2, 4, 6, 8, 12, 16, 24} {
+		opts := Options{Name: "probe", Slack: slack, DensityGrid: 12, Workers: 8}
+		m := Train(b.Train, opts)
+		reported := m.Detect(b.Test, b.Layer, b.Spec, core.DefaultConfig().Requirements)
+		s := core.EvaluateReport(reported, b.TruthCores, b.Test.Area(), b.Spec)
+		t.Logf("slack=%4.1f thr=%6.2f: %s", slack, m.Threshold(), s)
+	}
+}

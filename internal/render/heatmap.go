@@ -1,0 +1,50 @@
+package render
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+
+	"hotspot/internal/litho"
+)
+
+// HeatmapPNG renders a litho image (typically the blurred aerial image) as
+// a grayscale-to-hot PNG, with the threshold contour highlighted — the
+// standard lithographer's view of why a pattern pinches or bridges.
+func HeatmapPNG(w io.Writer, im *litho.Image, threshold float32) error {
+	if im.W <= 0 || im.H <= 0 {
+		return fmt.Errorf("render: empty image")
+	}
+	out := image.NewRGBA(image.Rect(0, 0, im.W, im.H))
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			v := im.At(x, y)
+			// PNG y grows downward; flip vertically.
+			out.Set(x, im.H-1-y, heatColor(v, threshold))
+		}
+	}
+	return png.Encode(w, out)
+}
+
+// heatColor maps intensity to a cold-to-hot ramp; samples within a small
+// band around the threshold render green so the printed contour is
+// visible.
+func heatColor(v, threshold float32) color.RGBA {
+	if threshold > 0 && v > threshold-0.015 && v < threshold+0.015 {
+		return color.RGBA{R: 0x18, G: 0xb0, B: 0x32, A: 0xff}
+	}
+	c := v
+	if c < 0 {
+		c = 0
+	}
+	if c > 1 {
+		c = 1
+	}
+	// Blue (cold) to red (hot) through dark.
+	r := uint8(255 * c)
+	b := uint8(255 * (1 - c))
+	g := uint8(40 * c)
+	return color.RGBA{R: r, G: g, B: b, A: 0xff}
+}

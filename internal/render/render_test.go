@@ -1,0 +1,106 @@
+package render
+
+import (
+	"bytes"
+	"image/png"
+	"strings"
+	"testing"
+
+	"hotspot/internal/geom"
+	"hotspot/internal/layout"
+	"hotspot/internal/litho"
+)
+
+func testLayout() *layout.Layout {
+	l := layout.New("t")
+	l.AddRect(1, geom.R(0, 0, 2000, 100))
+	l.AddRect(1, geom.R(0, 300, 2000, 400))
+	l.AddRect(1, geom.R(500, 600, 700, 2000))
+	return l
+}
+
+func TestSVGBasics(t *testing.T) {
+	var buf bytes.Buffer
+	err := SVG(&buf, testLayout(), Options{
+		Layer:    1,
+		Truth:    []geom.Rect{geom.R(0, 0, 1200, 1200)},
+		Reported: []geom.Rect{geom.R(100, 100, 1300, 1300), geom.R(1500, 1500, 2700, 2700)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "<svg") || !strings.Contains(s, "</svg>") {
+		t.Fatalf("not an svg:\n%.200s", s)
+	}
+	// Geometry, truth outline, one hit (amber), one extra (red).
+	for _, want := range []string{"#9aa7b1", "#1a7f37", "#bf8700", "#d1242f"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %s in svg", want)
+		}
+	}
+}
+
+func TestSVGEmptyLayoutFails(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SVG(&buf, layout.New("empty"), Options{}); err == nil {
+		t.Fatal("empty layout must fail")
+	}
+}
+
+func TestSVGRectCap(t *testing.T) {
+	l := layout.New("big")
+	for i := 0; i < 100; i++ {
+		l.AddRect(1, geom.R(geom.Coord(i*10), 0, geom.Coord(i*10+5), 10))
+	}
+	var buf bytes.Buffer
+	if err := SVG(&buf, l, Options{Layer: 1, MaxRects: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "clipped at 10") {
+		t.Fatal("cap marker missing")
+	}
+	if got := strings.Count(buf.String(), "#9aa7b1"); got != 10 {
+		t.Fatalf("drew %d rects, want 10", got)
+	}
+}
+
+func TestHeatmapPNG(t *testing.T) {
+	im := litho.NewImage(geom.R(0, 0, 500, 500), 10)
+	im.Rasterize([]geom.Rect{geom.R(100, 100, 400, 400)})
+	blurred := im.Blur(45)
+	var buf bytes.Buffer
+	if err := HeatmapPNG(&buf, blurred, 0.48); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != blurred.W || img.Bounds().Dy() != blurred.H {
+		t.Fatalf("png dims: %v", img.Bounds())
+	}
+}
+
+func TestHeatmapEmptyFails(t *testing.T) {
+	var buf bytes.Buffer
+	if err := HeatmapPNG(&buf, &litho.Image{}, 0.5); err == nil {
+		t.Fatal("empty image must fail")
+	}
+}
+
+func TestHeatColorRamp(t *testing.T) {
+	cold := heatColor(0, 0.5)
+	hot := heatColor(1, 0.5)
+	if cold.B <= hot.B || hot.R <= cold.R {
+		t.Fatalf("ramp broken: cold=%v hot=%v", cold, hot)
+	}
+	contour := heatColor(0.5, 0.5)
+	if contour.G < 0x80 {
+		t.Fatalf("contour not green: %v", contour)
+	}
+	// Clamping.
+	if heatColor(-1, 0) != heatColor(0, 0) || heatColor(2, 0) != heatColor(1, 0) {
+		t.Fatal("clamp broken")
+	}
+}

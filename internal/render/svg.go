@@ -1,0 +1,99 @@
+// Package render draws layouts and detection results as SVG, the usual way
+// to eyeball a DFM run: layer geometry in grey, ground-truth hotspot cores
+// in outlined green, reported cores in red with the hit/extra distinction.
+package render
+
+import (
+	"fmt"
+	"io"
+
+	"hotspot/internal/geom"
+	"hotspot/internal/layout"
+)
+
+// Options style an SVG rendering.
+type Options struct {
+	// PixelsPerUM scales layout microns to SVG pixels (default 2).
+	PixelsPerUM float64
+	// Layer selects the drawn layer.
+	Layer layout.Layer
+	// Truth draws ground-truth hotspot cores.
+	Truth []geom.Rect
+	// Reported draws reported hotspot cores.
+	Reported []geom.Rect
+	// MaxRects caps the drawn geometry count (0: 50000). Layouts beyond
+	// the cap are clipped deterministically with a comment marker.
+	MaxRects int
+}
+
+// SVG writes the layout (and overlays) as an SVG document.
+func SVG(w io.Writer, l *layout.Layout, opts Options) error {
+	if opts.PixelsPerUM <= 0 {
+		opts.PixelsPerUM = 2
+	}
+	if opts.MaxRects <= 0 {
+		opts.MaxRects = 50000
+	}
+	b := l.Bounds
+	if b.Empty() {
+		return fmt.Errorf("render: empty layout")
+	}
+	scale := opts.PixelsPerUM / 1000.0 // dbu (nm) -> px
+	wpx := float64(b.W()) * scale
+	hpx := float64(b.H()) * scale
+	// SVG y grows downward; flip via a transform group.
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%.1f" height="%.1f" viewBox="0 0 %.1f %.1f">`+"\n",
+		wpx, hpx, wpx, hpx); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, `<g transform="translate(0,%.1f) scale(1,-1)">`+"\n", hpx)
+	fmt.Fprintf(w, `<rect x="0" y="0" width="%.1f" height="%.1f" fill="#ffffff"/>`+"\n", wpx, hpx)
+
+	px := func(r geom.Rect) (x, y, rw, rh float64) {
+		return float64(r.X0-b.X0) * scale, float64(r.Y0-b.Y0) * scale,
+			float64(r.W()) * scale, float64(r.H()) * scale
+	}
+	drawn := 0
+	for _, r := range l.Rects(opts.Layer) {
+		if drawn >= opts.MaxRects {
+			fmt.Fprintf(w, "<!-- geometry clipped at %d rectangles -->\n", opts.MaxRects)
+			break
+		}
+		x, y, rw, rh := px(r)
+		fmt.Fprintf(w, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="#9aa7b1"/>`+"\n", x, y, rw, rh)
+		drawn++
+	}
+	for _, r := range opts.Truth {
+		x, y, rw, rh := px(r)
+		fmt.Fprintf(w, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="none" stroke="#1a7f37" stroke-width="%.2f"/>`+"\n",
+			x, y, rw, rh, 0.3*opts.PixelsPerUM)
+	}
+	hitSet := markHits(opts.Reported, opts.Truth)
+	for i, r := range opts.Reported {
+		color := "#d1242f" // extra: red
+		if hitSet[i] {
+			color = "#bf8700" // hit: amber
+		}
+		x, y, rw, rh := px(r)
+		fmt.Fprintf(w, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" fill-opacity="0.35" stroke="%s" stroke-width="%.2f"/>`+"\n",
+			x, y, rw, rh, color, color, 0.2*opts.PixelsPerUM)
+	}
+	fmt.Fprintln(w, "</g>")
+	_, err := fmt.Fprintln(w, "</svg>")
+	return err
+}
+
+// markHits flags reported cores that overlap some truth core.
+func markHits(reported, truth []geom.Rect) []bool {
+	out := make([]bool, len(reported))
+	for i, r := range reported {
+		for _, tc := range truth {
+			if r.Overlaps(tc) {
+				out[i] = true
+				break
+			}
+		}
+	}
+	return out
+}

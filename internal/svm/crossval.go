@@ -1,0 +1,96 @@
+package svm
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CrossValidate runs stratified k-fold cross-validation and returns the
+// mean held-out accuracy. It is the standard way to sanity-check a (C,
+// gamma) choice before committing to the iterative-doubling schedule.
+func CrossValidate(x [][]float64, y []int, p Params, folds int, seed int64) (float64, error) {
+	if folds < 2 {
+		return 0, fmt.Errorf("svm: need >= 2 folds, got %d", folds)
+	}
+	if len(x) != len(y) || len(x) < folds {
+		return 0, fmt.Errorf("svm: %d rows for %d folds", len(x), folds)
+	}
+	// Stratified assignment: spread each class round-robin over folds,
+	// in shuffled order.
+	rng := rand.New(rand.NewSource(seed))
+	var pos, neg []int
+	for i, t := range y {
+		if t > 0 {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+	fold := make([]int, len(x))
+	for i, idx := range pos {
+		fold[idx] = i % folds
+	}
+	for i, idx := range neg {
+		fold[idx] = i % folds
+	}
+
+	var sumAcc float64
+	scored := 0
+	for f := 0; f < folds; f++ {
+		var trX [][]float64
+		var trY []int
+		var teX [][]float64
+		var teY []int
+		for i := range x {
+			if fold[i] == f {
+				teX = append(teX, x[i])
+				teY = append(teY, y[i])
+			} else {
+				trX = append(trX, x[i])
+				trY = append(trY, y[i])
+			}
+		}
+		if len(teX) == 0 {
+			continue
+		}
+		m, err := Train(trX, trY, p)
+		if err == ErrNoData {
+			// A fold may strip one class entirely on tiny sets; skip it.
+			continue
+		}
+		if err != nil {
+			return 0, err
+		}
+		sumAcc += m.Accuracy(teX, teY)
+		scored++
+	}
+	if scored == 0 {
+		return 0, fmt.Errorf("svm: no scoreable folds")
+	}
+	return sumAcc / float64(scored), nil
+}
+
+// GridSearch evaluates every (C, gamma) combination by cross-validation
+// and returns the best parameters and their accuracy.
+func GridSearch(x [][]float64, y []int, cs, gammas []float64, folds int, seed int64) (Params, float64, error) {
+	if len(cs) == 0 || len(gammas) == 0 {
+		return Params{}, 0, fmt.Errorf("svm: empty parameter grid")
+	}
+	best := Params{}
+	bestAcc := -1.0
+	for _, c := range cs {
+		for _, g := range gammas {
+			p := Params{C: c, Gamma: g}
+			acc, err := CrossValidate(x, y, p, folds, seed)
+			if err != nil {
+				return Params{}, 0, err
+			}
+			if acc > bestAcc {
+				best, bestAcc = p, acc
+			}
+		}
+	}
+	return best, bestAcc, nil
+}

@@ -1,0 +1,78 @@
+package svm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func blobs(n int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	var x [][]float64
+	var y []int
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			x = append(x, []float64{rng.NormFloat64()*0.3 + 1, rng.NormFloat64()*0.3 + 1})
+			y = append(y, +1)
+		} else {
+			x = append(x, []float64{rng.NormFloat64() * 0.3, rng.NormFloat64() * 0.3})
+			y = append(y, -1)
+		}
+	}
+	return x, y
+}
+
+func TestCrossValidateSeparable(t *testing.T) {
+	x, y := blobs(100, 1)
+	acc, err := CrossValidate(x, y, Params{C: 10, Gamma: 1}, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Fatalf("cv accuracy: %v", acc)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	x, y := blobs(10, 2)
+	if _, err := CrossValidate(x, y, Params{C: 1, Gamma: 1}, 1, 0); err == nil {
+		t.Fatal("folds < 2 must fail")
+	}
+	if _, err := CrossValidate(x[:3], y[:3], Params{C: 1, Gamma: 1}, 5, 0); err == nil {
+		t.Fatal("too few rows must fail")
+	}
+}
+
+func TestCrossValidateDeterministic(t *testing.T) {
+	x, y := blobs(60, 3)
+	a, err := CrossValidate(x, y, Params{C: 10, Gamma: 1}, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossValidate(x, y, Params{C: 10, Gamma: 1}, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("cv nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestGridSearch(t *testing.T) {
+	x, y := blobs(80, 4)
+	best, acc, err := GridSearch(x, y,
+		[]float64{0.01, 1, 100},
+		[]float64{0.001, 0.1, 10},
+		4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Fatalf("grid search best accuracy: %v (params %+v)", acc, best)
+	}
+	if best.C == 0 || best.Gamma == 0 {
+		t.Fatalf("degenerate best params: %+v", best)
+	}
+	if _, _, err := GridSearch(x, y, nil, nil, 4, 5); err == nil {
+		t.Fatal("empty grid must fail")
+	}
+}

@@ -1,0 +1,26 @@
+package svm_test
+
+import (
+	"fmt"
+
+	"hotspot/internal/svm"
+)
+
+func ExampleTrain() {
+	// XOR is not linearly separable; the RBF kernel handles it.
+	x := [][]float64{{0, 0}, {1, 1}, {0, 1}, {1, 0}}
+	y := []int{-1, -1, +1, +1}
+	m, err := svm.Train(x, y, svm.Params{C: 100, Gamma: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m.Predict([]float64{0, 1}), m.Predict([]float64{1, 1}))
+	// Output: 1 -1
+}
+
+func ExampleScaler() {
+	train := [][]float64{{0, 100}, {10, 200}}
+	s := svm.FitScaler(train)
+	fmt.Println(s.Apply([]float64{5, 150}))
+	// Output: [0.5 0.5]
+}

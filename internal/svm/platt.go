@@ -1,0 +1,137 @@
+package svm
+
+import (
+	"fmt"
+	"math"
+)
+
+// PlattScaler maps raw SVM decision values to calibrated probabilities
+// P(y = +1 | f) = 1 / (1 + exp(A*f + B)), fitted by regularized maximum
+// likelihood (Platt 1999, with the Lin-Weng-Keerthi numerically stable
+// update used by LIBSVM's -b 1).
+type PlattScaler struct {
+	A, B float64
+}
+
+// FitPlatt fits the sigmoid on decision values and their true labels.
+func FitPlatt(decisions []float64, labels []int) (*PlattScaler, error) {
+	n := len(decisions)
+	if n == 0 || len(labels) != n {
+		return nil, fmt.Errorf("svm: bad platt input (%d decisions, %d labels)", n, len(labels))
+	}
+	var np, nn float64
+	for _, t := range labels {
+		if t > 0 {
+			np++
+		} else {
+			nn++
+		}
+	}
+	if np == 0 || nn == 0 {
+		return nil, fmt.Errorf("svm: platt fitting needs both classes")
+	}
+	// Regularized targets.
+	hiTarget := (np + 1) / (np + 2)
+	loTarget := 1 / (nn + 2)
+	t := make([]float64, n)
+	for i, lab := range labels {
+		if lab > 0 {
+			t[i] = hiTarget
+		} else {
+			t[i] = loTarget
+		}
+	}
+	a, b := 0.0, math.Log((nn+1)/(np+1))
+	const (
+		maxIter = 100
+		minStep = 1e-10
+		sigma   = 1e-12
+		eps     = 1e-5
+	)
+	fval := 0.0
+	for i := 0; i < n; i++ {
+		fApB := decisions[i]*a + b
+		if fApB >= 0 {
+			fval += t[i]*fApB + math.Log1p(math.Exp(-fApB))
+		} else {
+			fval += (t[i]-1)*fApB + math.Log1p(math.Exp(fApB))
+		}
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		// Gradient and Hessian.
+		h11, h22, h21 := sigma, sigma, 0.0
+		g1, g2 := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			fApB := decisions[i]*a + b
+			var p, q float64
+			if fApB >= 0 {
+				e := math.Exp(-fApB)
+				p = e / (1 + e)
+				q = 1 / (1 + e)
+			} else {
+				e := math.Exp(fApB)
+				p = 1 / (1 + e)
+				q = e / (1 + e)
+			}
+			d2 := p * q
+			h11 += decisions[i] * decisions[i] * d2
+			h22 += d2
+			h21 += decisions[i] * d2
+			d1 := t[i] - p
+			g1 += decisions[i] * d1
+			g2 += d1
+		}
+		if math.Abs(g1) < eps && math.Abs(g2) < eps {
+			break
+		}
+		// Newton direction.
+		det := h11*h22 - h21*h21
+		dA := -(h22*g1 - h21*g2) / det
+		dB := -(-h21*g1 + h11*g2) / det
+		gd := g1*dA + g2*dB
+		// Line search.
+		step := 1.0
+		for step >= minStep {
+			na, nb := a+step*dA, b+step*dB
+			nf := 0.0
+			for i := 0; i < n; i++ {
+				fApB := decisions[i]*na + nb
+				if fApB >= 0 {
+					nf += t[i]*fApB + math.Log1p(math.Exp(-fApB))
+				} else {
+					nf += (t[i]-1)*fApB + math.Log1p(math.Exp(fApB))
+				}
+			}
+			if nf < fval+1e-4*step*gd {
+				a, b, fval = na, nb, nf
+				break
+			}
+			step /= 2
+		}
+		if step < minStep {
+			break
+		}
+	}
+	return &PlattScaler{A: a, B: b}, nil
+}
+
+// Prob returns the calibrated probability of the +1 class for a raw
+// decision value.
+func (p *PlattScaler) Prob(decision float64) float64 {
+	fApB := decision*p.A + p.B
+	if fApB >= 0 {
+		e := math.Exp(-fApB)
+		return e / (1 + e)
+	}
+	return 1 / (1 + math.Exp(fApB))
+}
+
+// CalibrateModel fits a Platt scaler on the model's own decisions over a
+// labelled calibration set (use held-out data where possible).
+func CalibrateModel(m *Model, x [][]float64, y []int) (*PlattScaler, error) {
+	d := make([]float64, len(x))
+	for i := range x {
+		d[i] = m.Decision(x[i])
+	}
+	return FitPlatt(d, y)
+}

@@ -1,0 +1,82 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitPlattErrors(t *testing.T) {
+	if _, err := FitPlatt(nil, nil); err == nil {
+		t.Fatal("empty input must fail")
+	}
+	if _, err := FitPlatt([]float64{1, 2}, []int{1, 1}); err == nil {
+		t.Fatal("single class must fail")
+	}
+	if _, err := FitPlatt([]float64{1}, []int{1, -1}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+}
+
+func TestPlattMonotone(t *testing.T) {
+	// Decisions correlated with labels: probability must be monotone
+	// increasing in the decision value and hit ~0.5 near the boundary.
+	rng := rand.New(rand.NewSource(1))
+	var d []float64
+	var y []int
+	for i := 0; i < 400; i++ {
+		v := rng.NormFloat64() * 2
+		d = append(d, v)
+		if v+rng.NormFloat64()*0.5 > 0 {
+			y = append(y, 1)
+		} else {
+			y = append(y, -1)
+		}
+	}
+	p, err := FitPlatt(d, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(p.Prob(-3) < p.Prob(0) && p.Prob(0) < p.Prob(3)) {
+		t.Fatalf("not monotone: %v %v %v", p.Prob(-3), p.Prob(0), p.Prob(3))
+	}
+	if p.Prob(3) < 0.8 || p.Prob(-3) > 0.2 {
+		t.Fatalf("extremes not confident: %v %v", p.Prob(3), p.Prob(-3))
+	}
+	if math.Abs(p.Prob(0)-0.5) > 0.15 {
+		t.Fatalf("boundary probability: %v", p.Prob(0))
+	}
+	for _, v := range []float64{-10, -1, 0, 1, 10} {
+		pr := p.Prob(v)
+		if pr < 0 || pr > 1 || math.IsNaN(pr) {
+			t.Fatalf("prob out of range at %v: %v", v, pr)
+		}
+	}
+}
+
+func TestCalibrateModel(t *testing.T) {
+	x, y := blobs(120, 9)
+	m, err := Train(x, y, Params{C: 10, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := CalibrateModel(m, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Calibrated probabilities must agree with the labels for confident
+	// points.
+	agree, total := 0, 0
+	for i := range x {
+		pr := p.Prob(m.Decision(x[i]))
+		if pr > 0.6 || pr < 0.4 {
+			total++
+			if (pr > 0.5) == (y[i] > 0) {
+				agree++
+			}
+		}
+	}
+	if total == 0 || float64(agree)/float64(total) < 0.9 {
+		t.Fatalf("calibration agreement: %d/%d", agree, total)
+	}
+}

@@ -1,0 +1,55 @@
+package svm
+
+// Scaler min-max scales feature vectors to [0, 1] per component, the usual
+// preconditioning for RBF kernels (matching LIBSVM's svm-scale).
+type Scaler struct {
+	Min, Max []float64
+}
+
+// FitScaler learns component ranges from the training rows.
+func FitScaler(x [][]float64) *Scaler {
+	if len(x) == 0 {
+		return &Scaler{}
+	}
+	dim := len(x[0])
+	s := &Scaler{Min: make([]float64, dim), Max: make([]float64, dim)}
+	copy(s.Min, x[0])
+	copy(s.Max, x[0])
+	for _, row := range x[1:] {
+		for i, v := range row {
+			if v < s.Min[i] {
+				s.Min[i] = v
+			}
+			if v > s.Max[i] {
+				s.Max[i] = v
+			}
+		}
+	}
+	return s
+}
+
+// Apply scales one row (allocating a new slice). Components with zero range
+// map to 0. Rows longer than the fitted dimension are truncated; shorter
+// rows are padded with zeros.
+func (s *Scaler) Apply(row []float64) []float64 {
+	out := make([]float64, len(s.Min))
+	for i := range s.Min {
+		if i >= len(row) {
+			break
+		}
+		r := s.Max[i] - s.Min[i]
+		if r > 0 {
+			out[i] = (row[i] - s.Min[i]) / r
+		}
+	}
+	return out
+}
+
+// ApplyAll scales a set of rows.
+func (s *Scaler) ApplyAll(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		out[i] = s.Apply(row)
+	}
+	return out
+}

@@ -1,0 +1,349 @@
+// Package svm implements the two-class soft-margin C-type support vector
+// machine with a Gaussian radial basis kernel (§III-D1), trained by
+// sequential minimal optimization with maximal-violating-pair working-set
+// selection — the same model class and algorithm family as LIBSVM [20],
+// which the paper links against, reimplemented on the standard library.
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params configures one training run.
+type Params struct {
+	// C is the soft-margin penalty (Eq. 3).
+	C float64
+	// Gamma is the RBF kernel width: k(x, z) = exp(-Gamma * ||x-z||^2).
+	Gamma float64
+	// Tol is the KKT violation tolerance for the stopping criterion.
+	Tol float64
+	// MaxIter bounds the number of SMO pair updates (<= 0: automatic).
+	MaxIter int
+	// WeightPos and WeightNeg scale C per class (1 when zero), the usual
+	// remedy for residual class imbalance.
+	WeightPos, WeightNeg float64
+}
+
+// DefaultParams mirror the paper's initial values: C = 1000, gamma = 0.01.
+var DefaultParams = Params{C: 1000, Gamma: 0.01, Tol: 1e-3}
+
+// Model is a trained SVM.
+type Model struct {
+	// SVs are the support vectors.
+	SVs [][]float64
+	// Coef holds alpha_i * y_i for each support vector.
+	Coef []float64
+	// Rho is the decision offset: f(x) = sum coef_i k(sv_i, x) - Rho.
+	Rho float64
+	// Gamma is the kernel width the model was trained with.
+	Gamma float64
+	// Iters reports how many SMO iterations training took.
+	Iters int
+}
+
+// ErrNoData is returned when a class is missing from the training set.
+var ErrNoData = errors.New("svm: training data must contain both classes")
+
+// Train fits a C-SVM on the given rows and +1/-1 labels.
+func Train(x [][]float64, y []int, p Params) (*Model, error) {
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return nil, fmt.Errorf("svm: bad training set (%d rows, %d labels)", n, len(y))
+	}
+	pos, neg := 0, 0
+	for _, t := range y {
+		switch t {
+		case +1:
+			pos++
+		case -1:
+			neg++
+		default:
+			return nil, fmt.Errorf("svm: label must be +1 or -1, got %d", t)
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, ErrNoData
+	}
+	if p.C <= 0 {
+		p.C = DefaultParams.C
+	}
+	if p.Gamma <= 0 {
+		p.Gamma = DefaultParams.Gamma
+	}
+	if p.Tol <= 0 {
+		p.Tol = DefaultParams.Tol
+	}
+	if p.WeightPos <= 0 {
+		p.WeightPos = 1
+	}
+	if p.WeightNeg <= 0 {
+		p.WeightNeg = 1
+	}
+	maxIter := p.MaxIter
+	if maxIter <= 0 {
+		maxIter = 200 * n
+		if maxIter < 20000 {
+			maxIter = 20000
+		}
+	}
+
+	s := &solver{
+		x: x, gamma: p.Gamma,
+		y:      make([]float64, n),
+		alpha:  make([]float64, n),
+		grad:   make([]float64, n),
+		cBound: make([]float64, n),
+		cache:  newKernelCache(x, p.Gamma),
+	}
+	for i, t := range y {
+		s.y[i] = float64(t)
+		if t > 0 {
+			s.cBound[i] = p.C * p.WeightPos
+		} else {
+			s.cBound[i] = p.C * p.WeightNeg
+		}
+		s.grad[i] = -1 // gradient of 1/2 a'Qa - e'a at a = 0
+	}
+
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		i, j, gap := s.selectPair()
+		if gap < p.Tol {
+			break
+		}
+		s.update(i, j)
+	}
+	return s.buildModel(iters, p)
+}
+
+type solver struct {
+	x      [][]float64
+	y      []float64
+	alpha  []float64
+	grad   []float64 // grad_i = sum_j Q_ij alpha_j - 1
+	cBound []float64
+	gamma  float64
+	cache  *kernelCache
+}
+
+// selectPair picks the maximal violating pair (WSS1 of Fan, Chen, Lin).
+func (s *solver) selectPair() (i, j int, gap float64) {
+	i, j = -1, -1
+	gmax := math.Inf(-1)
+	gmin := math.Inf(1)
+	for t := range s.alpha {
+		// I_up: y=+1 && a<C, or y=-1 && a>0.
+		if (s.y[t] > 0 && s.alpha[t] < s.cBound[t]) || (s.y[t] < 0 && s.alpha[t] > 0) {
+			if v := -s.y[t] * s.grad[t]; v > gmax {
+				gmax = v
+				i = t
+			}
+		}
+		// I_low: y=+1 && a>0, or y=-1 && a<C.
+		if (s.y[t] > 0 && s.alpha[t] > 0) || (s.y[t] < 0 && s.alpha[t] < s.cBound[t]) {
+			if v := -s.y[t] * s.grad[t]; v < gmin {
+				gmin = v
+				j = t
+			}
+		}
+	}
+	if i == -1 || j == -1 {
+		return 0, 0, 0
+	}
+	return i, j, gmax - gmin
+}
+
+// update performs the two-variable analytic step on the pair (i, j).
+func (s *solver) update(i, j int) {
+	ki := s.cache.row(i)
+	kj := s.cache.row(j)
+	qii := ki[i]
+	qjj := kj[j]
+	qij := s.y[i] * s.y[j] * ki[j]
+	eta := qii + qjj - 2*qij
+	if eta <= 0 {
+		eta = 1e-12
+	}
+	yi, yj := s.y[i], s.y[j]
+	// Delta along the constraint y_i da_i + y_j da_j = 0.
+	delta := (-yi*s.grad[i] + yj*s.grad[j]) / eta
+	oldAi, oldAj := s.alpha[i], s.alpha[j]
+	ai := oldAi + yi*delta
+	aj := oldAj - yj*delta
+	// Clip to the box.
+	if ai < 0 {
+		ai = 0
+	} else if ai > s.cBound[i] {
+		ai = s.cBound[i]
+	}
+	// Re-derive aj from the equality constraint, then clip and re-derive ai.
+	aj = oldAj - yj*yi*(ai-oldAi)
+	if aj < 0 {
+		aj = 0
+	} else if aj > s.cBound[j] {
+		aj = s.cBound[j]
+	}
+	ai = oldAi - yi*yj*(aj-oldAj)
+	if ai < 0 {
+		ai = 0
+	} else if ai > s.cBound[i] {
+		ai = s.cBound[i]
+	}
+	dAi, dAj := ai-oldAi, aj-oldAj
+	if dAi == 0 && dAj == 0 {
+		return
+	}
+	s.alpha[i], s.alpha[j] = ai, aj
+	for t := range s.grad {
+		qit := s.y[i] * s.y[t] * ki[t]
+		qjt := s.y[j] * s.y[t] * kj[t]
+		s.grad[t] += qit*dAi + qjt*dAj
+	}
+}
+
+func (s *solver) buildModel(iters int, p Params) (*Model, error) {
+	m := &Model{Gamma: p.Gamma, Iters: iters}
+	// rho from free support vectors (0 < a < C): y_i grad_i ... standard:
+	// rho = sum of y_i*grad_i over free SVs / count; fall back to midpoint.
+	var sum float64
+	nFree := 0
+	lb, ub := math.Inf(-1), math.Inf(1)
+	for t := range s.alpha {
+		yg := s.y[t] * s.grad[t]
+		switch {
+		case s.alpha[t] > 0 && s.alpha[t] < s.cBound[t]:
+			sum += yg
+			nFree++
+		case (s.y[t] > 0 && s.alpha[t] == 0) || (s.y[t] < 0 && s.alpha[t] == s.cBound[t]):
+			if yg < ub {
+				ub = yg
+			}
+		default:
+			if yg > lb {
+				lb = yg
+			}
+		}
+	}
+	if nFree > 0 {
+		m.Rho = sum / float64(nFree)
+	} else {
+		m.Rho = (lb + ub) / 2
+	}
+	for t, a := range s.alpha {
+		if a > 0 {
+			m.SVs = append(m.SVs, s.x[t])
+			m.Coef = append(m.Coef, a*s.y[t])
+		}
+	}
+	if len(m.SVs) == 0 {
+		return nil, errors.New("svm: training produced no support vectors")
+	}
+	return m, nil
+}
+
+// Decision returns the raw decision value f(x); positive predicts class +1.
+func (m *Model) Decision(x []float64) float64 {
+	var sum float64
+	for i, sv := range m.SVs {
+		sum += m.Coef[i] * rbf(sv, x, m.Gamma)
+	}
+	return sum - m.Rho
+}
+
+// Predict returns the class of x: +1 or -1.
+func (m *Model) Predict(x []float64) int {
+	if m.Decision(x) >= 0 {
+		return +1
+	}
+	return -1
+}
+
+// PredictWithBias classifies with the decision threshold shifted by bias:
+// larger bias demands stronger evidence for the +1 class. Used to realize
+// the accuracy/false-alarm operating points (ours_low / ours_med).
+func (m *Model) PredictWithBias(x []float64, bias float64) int {
+	if m.Decision(x) >= bias {
+		return +1
+	}
+	return -1
+}
+
+// Accuracy evaluates the model on a labelled set.
+func (m *Model) Accuracy(x [][]float64, y []int) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range x {
+		if m.Predict(x[i]) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x))
+}
+
+func rbf(a, b []float64, gamma float64) float64 {
+	var d2 float64
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return math.Exp(-gamma * d2)
+}
+
+// kernelCache serves kernel matrix rows, precomputing the full matrix for
+// small problems and caching rows for large ones.
+type kernelCache struct {
+	x     [][]float64
+	gamma float64
+	full  [][]float64 // full matrix when small enough
+	rows  map[int][]float64
+	order []int // FIFO eviction order
+	limit int
+}
+
+const fullMatrixLimit = 2048
+
+func newKernelCache(x [][]float64, gamma float64) *kernelCache {
+	c := &kernelCache{x: x, gamma: gamma, limit: 512}
+	if len(x) <= fullMatrixLimit {
+		c.full = make([][]float64, len(x))
+		for i := range x {
+			row := make([]float64, len(x))
+			for j := range x {
+				if j < i {
+					row[j] = c.full[j][i]
+				} else {
+					row[j] = rbf(x[i], x[j], gamma)
+				}
+			}
+			c.full[i] = row
+		}
+	} else {
+		c.rows = make(map[int][]float64)
+	}
+	return c
+}
+
+func (c *kernelCache) row(i int) []float64 {
+	if c.full != nil {
+		return c.full[i]
+	}
+	if r, ok := c.rows[i]; ok {
+		return r
+	}
+	r := make([]float64, len(c.x))
+	for j := range c.x {
+		r[j] = rbf(c.x[i], c.x[j], c.gamma)
+	}
+	if len(c.order) >= c.limit {
+		evict := c.order[0]
+		c.order = c.order[1:]
+		delete(c.rows, evict)
+	}
+	c.rows[i] = r
+	c.order = append(c.order, i)
+	return r
+}

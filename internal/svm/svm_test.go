@@ -1,0 +1,327 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrainRejectsBadInput(t *testing.T) {
+	if _, err := Train(nil, nil, DefaultParams); err == nil {
+		t.Fatal("empty set must fail")
+	}
+	x := [][]float64{{0}, {1}}
+	if _, err := Train(x, []int{1, 1}, DefaultParams); err != ErrNoData {
+		t.Fatal("single-class set must return ErrNoData")
+	}
+	if _, err := Train(x, []int{1, 2}, DefaultParams); err == nil {
+		t.Fatal("bad label must fail")
+	}
+	if _, err := Train(x, []int{1}, DefaultParams); err == nil {
+		t.Fatal("label/row mismatch must fail")
+	}
+}
+
+func TestLinearlySeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 60; i++ {
+		if i%2 == 0 {
+			x = append(x, []float64{rng.Float64(), rng.Float64()})
+			y = append(y, -1)
+		} else {
+			x = append(x, []float64{rng.Float64() + 2, rng.Float64() + 2})
+			y = append(y, +1)
+		}
+	}
+	m, err := Train(x, y, Params{C: 10, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(x, y); acc != 1 {
+		t.Fatalf("separable accuracy: %v", acc)
+	}
+	// Far-away points classify correctly.
+	if m.Predict([]float64{-1, -1}) != -1 {
+		t.Fatal("far negative misclassified")
+	}
+	if m.Predict([]float64{3, 3}) != +1 {
+		t.Fatal("far positive misclassified")
+	}
+}
+
+func TestXOR(t *testing.T) {
+	x := [][]float64{{0, 0}, {1, 1}, {0, 1}, {1, 0}}
+	y := []int{-1, -1, +1, +1}
+	m, err := Train(x, y, Params{C: 100, Gamma: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(x, y); acc != 1 {
+		t.Fatalf("xor accuracy: %v (RBF must separate XOR)", acc)
+	}
+}
+
+func TestCircle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		a := rng.Float64() * 2 * math.Pi
+		var r float64
+		label := -1
+		if i%2 == 0 {
+			r = rng.Float64() * 0.5 // inside
+			label = +1
+		} else {
+			r = 1.2 + rng.Float64()*0.5 // ring outside
+		}
+		x = append(x, []float64{r * math.Cos(a), r * math.Sin(a)})
+		y = append(y, label)
+	}
+	m, err := Train(x, y, Params{C: 50, Gamma: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(x, y); acc < 0.99 {
+		t.Fatalf("circle accuracy: %v", acc)
+	}
+	if m.Predict([]float64{0, 0}) != +1 {
+		t.Fatal("centre must be positive")
+	}
+	if m.Predict([]float64{1.4, 0}) != -1 {
+		t.Fatal("ring must be negative")
+	}
+}
+
+func TestGeneralizationOnHeldOut(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	gen := func(n int) ([][]float64, []int) {
+		var x [][]float64
+		var y []int
+		for i := 0; i < n; i++ {
+			px := rng.Float64()*4 - 2
+			py := rng.Float64()*4 - 2
+			label := -1
+			if px+py > 0.2 {
+				label = +1
+			}
+			x = append(x, []float64{px, py})
+			y = append(y, label)
+		}
+		return x, y
+	}
+	xt, yt := gen(200)
+	m, err := Train(xt, yt, Params{C: 10, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xe, ye := gen(200)
+	if acc := m.Accuracy(xe, ye); acc < 0.93 {
+		t.Fatalf("held-out accuracy: %v", acc)
+	}
+}
+
+func TestDecisionThresholdMonotone(t *testing.T) {
+	// Raising the bias can only move predictions from +1 to -1.
+	rng := rand.New(rand.NewSource(9))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 80; i++ {
+		px, py := rng.Float64()*2-1, rng.Float64()*2-1
+		label := -1
+		if px > 0 {
+			label = +1
+		}
+		x = append(x, []float64{px, py})
+		y = append(y, label)
+	}
+	m, err := Train(x, y, Params{C: 10, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		lo := m.PredictWithBias(x[i], -0.5)
+		hi := m.PredictWithBias(x[i], 0.5)
+		if hi == +1 && lo == -1 {
+			t.Fatalf("bias monotonicity violated at row %d", i)
+		}
+	}
+}
+
+func TestClassWeights(t *testing.T) {
+	// Heavily imbalanced data: up-weighting the minority class must not
+	// lose the minority training points.
+	rng := rand.New(rand.NewSource(4))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 5; i++ {
+		x = append(x, []float64{rng.Float64()*0.2 + 1.0, rng.Float64()*0.2 + 1.0})
+		y = append(y, +1)
+	}
+	for i := 0; i < 200; i++ {
+		x = append(x, []float64{rng.Float64(), rng.Float64()})
+		y = append(y, -1)
+	}
+	m, err := Train(x, y, Params{C: 1, Gamma: 0.5, WeightPos: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if m.Predict(x[i]) != +1 {
+			t.Fatalf("minority sample %d lost", i)
+		}
+	}
+}
+
+func TestModelDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 50; i++ {
+		x = append(x, []float64{rng.Float64(), rng.Float64()})
+		if x[i][0] > 0.5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, -1)
+		}
+	}
+	m1, err := Train(x, y, Params{C: 10, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(x, y, Params{C: 10, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Rho != m2.Rho || len(m1.SVs) != len(m2.SVs) || m1.Iters != m2.Iters {
+		t.Fatal("training is not deterministic")
+	}
+}
+
+func TestQuickDecisionFinite(t *testing.T) {
+	x := [][]float64{{0, 0}, {1, 1}, {0, 1}, {1, 0}}
+	y := []int{-1, -1, +1, +1}
+	m, err := Train(x, y, Params{C: 100, Gamma: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		a = math.Mod(a, 100)
+		b = math.Mod(b, 100)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		d := m.Decision([]float64{a, b})
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			return false
+		}
+		p := m.Predict([]float64{a, b})
+		return p == 1 || p == -1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaler(t *testing.T) {
+	x := [][]float64{{0, 10, 5}, {10, 20, 5}}
+	s := FitScaler(x)
+	got := s.Apply([]float64{5, 15, 5})
+	want := []float64{0.5, 0.5, 0}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("scaled[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Short and long rows.
+	if got := s.Apply([]float64{5}); len(got) != 3 || got[1] != 0 {
+		t.Fatalf("short row: %v", got)
+	}
+	if got := s.Apply([]float64{5, 15, 5, 99}); len(got) != 3 {
+		t.Fatalf("long row: %v", got)
+	}
+	all := s.ApplyAll(x)
+	if all[0][0] != 0 || all[1][0] != 1 {
+		t.Fatalf("ApplyAll: %v", all)
+	}
+}
+
+func TestScalerEmpty(t *testing.T) {
+	s := FitScaler(nil)
+	if got := s.Apply([]float64{1, 2}); len(got) != 0 {
+		t.Fatalf("empty scaler output: %v", got)
+	}
+}
+
+func TestKernelCacheLargeProblem(t *testing.T) {
+	// Force the row-cache path (> fullMatrixLimit rows) on an easy
+	// problem; training must still converge.
+	rng := rand.New(rand.NewSource(6))
+	n := fullMatrixLimit + 100
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		x[i] = []float64{rng.Float64()}
+		if x[i][0] > 0.5 {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	m, err := Train(x, y, Params{C: 10, Gamma: 5, MaxIter: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(x, y); acc < 0.99 {
+		t.Fatalf("large-problem accuracy: %v", acc)
+	}
+}
+
+func BenchmarkTrain200(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		px, py := rng.Float64(), rng.Float64()
+		x = append(x, []float64{px, py})
+		if px+py > 1 {
+			y = append(y, 1)
+		} else {
+			y = append(y, -1)
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(x, y, Params{C: 10, Gamma: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecision(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		px, py := rng.Float64(), rng.Float64()
+		x = append(x, []float64{px, py})
+		if px+py > 1 {
+			y = append(y, 1)
+		} else {
+			y = append(y, -1)
+		}
+	}
+	m, err := Train(x, y, Params{C: 10, Gamma: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := []float64{0.3, 0.9}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Decision(q)
+	}
+}

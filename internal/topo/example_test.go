@@ -1,0 +1,41 @@
+package topo_test
+
+import (
+	"fmt"
+
+	"hotspot/internal/geom"
+	"hotspot/internal/topo"
+)
+
+func ExampleComputeStrings() {
+	// The paper's Fig. 5(a): slice 1 is a full-height block (11b = 3),
+	// slice 2 is space/block/space (1010b = 10).
+	window := geom.R(0, 0, 40, 40)
+	rects := []geom.Rect{
+		geom.R(0, 0, 20, 40),
+		geom.R(20, 10, 40, 30),
+	}
+	s := topo.ComputeStrings(rects, window)
+	fmt.Println(s.Bottom)
+	// Output: [3 10]
+}
+
+func ExampleMatchComposite() {
+	window := geom.R(0, 0, 120, 120)
+	bars := []geom.Rect{geom.R(0, 10, 120, 30), geom.R(0, 60, 120, 90)}
+	rotated := geom.Rot90.ApplyToRects(bars, 120)
+
+	a := topo.ComputeStrings(bars, window)
+	b := topo.ComputeStrings(rotated, window)
+	fmt.Println(topo.MatchComposite(a, b))
+	// Output: true
+}
+
+func ExampleDist() {
+	window := geom.R(0, 0, 120, 120)
+	a := topo.ComputeDensity([]geom.Rect{geom.R(0, 0, 60, 120)}, window, 12)
+	b := topo.ComputeDensity([]geom.Rect{geom.R(60, 0, 120, 120)}, window, 12)
+	// The right half is the mirrored left half: distance 0 over D8.
+	fmt.Println(topo.Dist(a, b))
+	// Output: 0
+}

@@ -1,0 +1,386 @@
+// Package topo implements the two-level topological classification of
+// §III-B: string-based classification via four directional strings (with
+// the composite-string matching of Theorem 1 over the eight orientations)
+// and density-based classification via pixel-density clustering.
+package topo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hotspot/internal/geom"
+)
+
+// StringSet holds the four directional strings of a core pattern. Each
+// string is a sequence of per-slice codes:
+//
+//   - the bottom string slices the pattern vertically along polygon edges,
+//     slices ordered left to right, each slice scanned bottom to top;
+//   - the right string slices horizontally, slices bottom to top, each
+//     scanned right to left;
+//   - the top string slices vertically, slices right to left, each scanned
+//     top to bottom;
+//   - the left string slices horizontally, slices top to bottom, each
+//     scanned left to right;
+//
+// so that bottom-right-top-left is a counterclockwise perimeter walk.
+// A slice code is a bit string (stored in a uint64): a leading 1 marker
+// followed by one bit per maximal region along the scan — 1 for a polygon
+// block, 0 for a space — matching the paper's example where a slice that is
+// a single full-height block codes as 11b = 3 and a space/block/space slice
+// codes as 1010b = 10.
+type StringSet struct {
+	Bottom, Right, Top, Left []uint64
+}
+
+// ComputeStrings builds the directional strings for the given geometry
+// within the window. The geometry is clipped to the window; overlapping
+// rectangles are handled (regions are computed from interval unions).
+func ComputeStrings(rects []geom.Rect, window geom.Rect) StringSet {
+	clipped := clipAll(rects, window)
+	vSlices := sliceCodes(clipped, window, true)  // per vertical slab, bottom-up codes
+	hSlices := sliceCodes(clipped, window, false) // per horizontal slab, left-right codes
+
+	n := len(vSlices)
+	m := len(hSlices)
+	s := StringSet{
+		Bottom: make([]uint64, n),
+		Top:    make([]uint64, n),
+		Right:  make([]uint64, m),
+		Left:   make([]uint64, m),
+	}
+	for i, c := range vSlices {
+		s.Bottom[i] = c           // left to right, scanned bottom-up
+		s.Top[n-1-i] = reverse(c) // right to left, scanned top-down
+	}
+	for i, c := range hSlices {
+		s.Right[i] = reverse(c) // bottom to top, scanned right-left
+		s.Left[m-1-i] = c       // top to bottom, scanned left-right
+	}
+	return s
+}
+
+// clipAll clips rects to window, dropping empties.
+func clipAll(rects []geom.Rect, window geom.Rect) []geom.Rect {
+	out := make([]geom.Rect, 0, len(rects))
+	for _, r := range rects {
+		c := r.Intersect(window)
+		if !c.Empty() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// sliceCodes computes per-slab region codes. With vertical=true, slabs are
+// vertical slices bounded by the x-coordinates of vertical edges, and each
+// code scans regions bottom-up. With vertical=false, slabs are horizontal
+// slices bounded by y-coordinates, each code scanning left to right.
+func sliceCodes(rects []geom.Rect, window geom.Rect, vertical bool) []uint64 {
+	// Collect slab boundaries: polygon edges only, per the paper; the
+	// window edges bound the outermost slabs.
+	cuts := []geom.Coord{}
+	for _, r := range rects {
+		if vertical {
+			cuts = append(cuts, r.X0, r.X1)
+		} else {
+			cuts = append(cuts, r.Y0, r.Y1)
+		}
+	}
+	var lo, hi geom.Coord
+	if vertical {
+		lo, hi = window.X0, window.X1
+	} else {
+		lo, hi = window.Y0, window.Y1
+	}
+	cuts = append(cuts, lo, hi)
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+	cuts = uniq(cuts)
+	// Trim cuts outside the window (rects are pre-clipped, so none).
+	var codes []uint64
+	for i := 0; i+1 < len(cuts); i++ {
+		a, b := cuts[i], cuts[i+1]
+		if a < lo || b > hi || a >= b {
+			continue
+		}
+		codes = append(codes, slabCode(rects, window, a, b, vertical))
+	}
+	return codes
+}
+
+func uniq(v []geom.Coord) []geom.Coord {
+	out := v[:0]
+	for i, x := range v {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// slabCode computes the region code of one slab [a, b).
+func slabCode(rects []geom.Rect, window geom.Rect, a, b geom.Coord, vertical bool) uint64 {
+	// Collect the cross intervals of blocks overlapping the slab interior.
+	var iv [][2]geom.Coord
+	for _, r := range rects {
+		if vertical {
+			if r.X0 <= a && r.X1 >= b {
+				iv = append(iv, [2]geom.Coord{r.Y0, r.Y1})
+			}
+		} else {
+			if r.Y0 <= a && r.Y1 >= b {
+				iv = append(iv, [2]geom.Coord{r.X0, r.X1})
+			}
+		}
+	}
+	var lo, hi geom.Coord
+	if vertical {
+		lo, hi = window.Y0, window.Y1
+	} else {
+		lo, hi = window.X0, window.X1
+	}
+	merged := mergeIntervals(iv)
+	// Walk regions from lo to hi: alternating space/block.
+	code := uint64(1) // leading marker
+	pos := lo
+	for _, seg := range merged {
+		if seg[0] > pos {
+			code = code<<1 | 0 // space region
+		}
+		code = code<<1 | 1 // block region
+		pos = seg[1]
+	}
+	if pos < hi {
+		code = code<<1 | 0
+	}
+	return code
+}
+
+func mergeIntervals(iv [][2]geom.Coord) [][2]geom.Coord {
+	if len(iv) == 0 {
+		return nil
+	}
+	sort.Slice(iv, func(i, j int) bool { return iv[i][0] < iv[j][0] })
+	out := iv[:1]
+	for _, seg := range iv[1:] {
+		last := &out[len(out)-1]
+		if seg[0] <= last[1] {
+			if seg[1] > last[1] {
+				last[1] = seg[1]
+			}
+		} else {
+			out = append(out, seg)
+		}
+	}
+	return out
+}
+
+// reverse reverses the region bits of a slice code (keeping the marker).
+func reverse(code uint64) uint64 {
+	// Strip the marker: the marker is the highest set bit.
+	if code == 0 {
+		return 0
+	}
+	top := 63
+	for (code>>uint(top))&1 == 0 {
+		top--
+	}
+	out := uint64(1)
+	for i := 0; i < top; i++ {
+		out = out<<1 | (code>>uint(i))&1
+	}
+	return out
+}
+
+// Encode renders the string set as a canonical text key.
+func (s StringSet) Encode() string {
+	var b strings.Builder
+	for i, side := range [][]uint64{s.Bottom, s.Right, s.Top, s.Left} {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		for j, c := range side {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%x", c)
+		}
+	}
+	return b.String()
+}
+
+// CompositeCCW returns the counterclockwise composite string of Theorem 1:
+// the four side strings concatenated counterclockwise with the beginning
+// side appended again at the end.
+func (s StringSet) CompositeCCW() []uint64 {
+	var out []uint64
+	out = append(out, s.Bottom...)
+	out = append(out, s.Right...)
+	out = append(out, s.Top...)
+	out = append(out, s.Left...)
+	out = append(out, s.Bottom...)
+	return out
+}
+
+// CompositeCW returns the clockwise composite string: the counterclockwise
+// composite of the horizontally mirrored pattern. Mirroring about the
+// vertical axis reverses the slice order of every side and swaps left and
+// right, but leaves each slice's scan direction — and therefore its code —
+// unchanged (bottom/top scans are vertical; the left side of the mirror
+// scans the original's right side in the right side's own direction).
+func (s StringSet) CompositeCW() []uint64 {
+	revOrd := func(side []uint64) []uint64 {
+		out := make([]uint64, len(side))
+		for i, c := range side {
+			out[len(side)-1-i] = c
+		}
+		return out
+	}
+	var out []uint64
+	out = append(out, revOrd(s.Bottom)...)
+	out = append(out, revOrd(s.Left)...)
+	out = append(out, revOrd(s.Top)...)
+	out = append(out, revOrd(s.Right)...)
+	out = append(out, revOrd(s.Bottom)...)
+	return out
+}
+
+// AdjacentPair returns the concatenation of two adjacent side strings in
+// counterclockwise order. side is 0..3 for (left,bottom), (bottom,right),
+// (right,top), (top,left).
+func (s StringSet) AdjacentPair(side int) []uint64 {
+	var a, b []uint64
+	switch side & 3 {
+	case 0:
+		a, b = s.Left, s.Bottom
+	case 1:
+		a, b = s.Bottom, s.Right
+	case 2:
+		a, b = s.Right, s.Top
+	default:
+		a, b = s.Top, s.Left
+	}
+	out := make([]uint64, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}
+
+// containsSub reports whether needle occurs as a contiguous run in hay.
+func containsSub(hay, needle []uint64) bool {
+	if len(needle) == 0 {
+		return true
+	}
+	for i := 0; i+len(needle) <= len(hay); i++ {
+		ok := true
+		for j := range needle {
+			if hay[i+j] != needle[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchComposite implements Theorem 1 literally: two core patterns have the
+// same topology (up to the eight orientations) iff an adjacent-side pair of
+// one occurs in the counterclockwise or clockwise composite string of the
+// other. The full-perimeter length must also agree (the substring test
+// alone is necessary, not sufficient, for patterns of different size).
+func MatchComposite(a, b StringSet) bool {
+	if len(a.Bottom)+len(a.Right)+len(a.Top)+len(a.Left) !=
+		len(b.Bottom)+len(b.Right)+len(b.Top)+len(b.Left) {
+		return false
+	}
+	ccw := b.CompositeCCW()
+	cw := b.CompositeCW()
+	for side := 0; side < 4; side++ {
+		pair := a.AdjacentPair(side)
+		if containsSub(ccw, pair) || containsSub(cw, pair) {
+			return true
+		}
+	}
+	return false
+}
+
+// CanonicalKey returns a key that is identical for patterns with the same
+// topology under any of the eight orientations: the lexicographic minimum
+// of the encoded string sets over D8. This is what classification uses for
+// exact-topology bucketing; tests check it agrees with MatchComposite.
+func CanonicalKey(rects []geom.Rect, window geom.Rect) string {
+	key, _ := Canonicalize(rects, window)
+	return key
+}
+
+// CanonicalOrientation returns the orientation that canonicalizes the
+// pattern (the one whose string encoding is lexicographically minimal).
+// Feature extraction normalizes every pattern to this frame so that
+// features of same-topology patterns line up slot for slot.
+func CanonicalOrientation(rects []geom.Rect, window geom.Rect) geom.Orientation {
+	_, o := Canonicalize(rects, window)
+	return o
+}
+
+// Canonicalize returns both the canonical key and the orientation that
+// achieves it. Ties between orientations with equal string keys — which
+// happen whenever the pattern's topology is symmetric — are broken by the
+// exact geometry (lexicographically minimal sorted rectangle list), so that
+// every member of a pattern's D8 orbit canonicalizes to the same frame.
+func Canonicalize(rects []geom.Rect, window geom.Rect) (string, geom.Orientation) {
+	side := window.W()
+	if window.H() > side {
+		side = window.H()
+	}
+	best := ""
+	bestGeom := ""
+	var bestO geom.Orientation
+	norm := make([]geom.Rect, 0, len(rects))
+	for _, r := range rects {
+		c := r.Intersect(window)
+		if !c.Empty() {
+			norm = append(norm, c.Translate(-window.X0, -window.Y0))
+		}
+	}
+	w := geom.Rect{X0: 0, Y0: 0, X1: window.W(), Y1: window.H()}
+	for _, o := range geom.AllOrientations {
+		tr := o.ApplyToRects(norm, side)
+		tw := o.ApplyToRect(w, side)
+		key := ComputeStrings(tr, tw).Encode()
+		if best != "" && key > best {
+			continue
+		}
+		gk := geomKey(tr)
+		if best == "" || key < best || (key == best && gk < bestGeom) {
+			best, bestGeom, bestO = key, gk, o
+		}
+	}
+	return best, bestO
+}
+
+// geomKey encodes a rect set as a canonical sortable string.
+func geomKey(rects []geom.Rect) string {
+	sorted := append([]geom.Rect(nil), rects...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Y0 != b.Y0 {
+			return a.Y0 < b.Y0
+		}
+		if a.X0 != b.X0 {
+			return a.X0 < b.X0
+		}
+		if a.Y1 != b.Y1 {
+			return a.Y1 < b.Y1
+		}
+		return a.X1 < b.X1
+	})
+	var sb strings.Builder
+	for _, r := range sorted {
+		fmt.Fprintf(&sb, "%d,%d,%d,%d;", r.X0, r.Y0, r.X1, r.Y1)
+	}
+	return sb.String()
+}
