@@ -1,0 +1,32 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build vet test test-race fuzz bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full race-detector pass; the core end-to-end tests dominate the runtime
+# (well past go test's default 10m per-package timeout under -race).
+test-race:
+	$(GO) test -race -timeout 45m ./...
+
+# Short coverage-guided fuzz smoke on both targets (seeds always run as
+# part of `make test`; this explores beyond them).
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzClipJSONRoundTrip -fuzztime=$(FUZZTIME) ./internal/clip/
+	$(GO) test -run='^$$' -fuzz=FuzzDirectionalStrings -fuzztime=$(FUZZTIME) ./internal/topo/
+
+# Observability overhead guardrails (instrumented vs uninstrumented).
+bench:
+	$(GO) test -run='^$$' -bench='Instrumented' -benchtime=1x .
+
+check: vet build test test-race fuzz

@@ -15,6 +15,7 @@ import (
 	"hotspot/internal/geom"
 	"hotspot/internal/iccad"
 	"hotspot/internal/layout"
+	"hotspot/internal/obs"
 )
 
 // Geometry types.
@@ -92,6 +93,25 @@ func LoadModel(r io.Reader) (*Detector, error) { return core.Load(r) }
 func Evaluate(reported, truth []Rect, areaDBU2 int64, spec ClipSpec) Score {
 	return core.EvaluateReport(reported, truth, areaDBU2, spec)
 }
+
+// Observability types. Set Config.Obs to a NewRegistry() to collect
+// counters and duration histograms across training and detection; set
+// Config.Progress to stream per-round training events. Report.Telemetry
+// and Detector.Telemetry() carry the per-stage breakdowns either way.
+type (
+	// Registry collects counters, gauges, and duration histograms. A nil
+	// *Registry is valid and free: every instrument it hands out no-ops.
+	Registry = obs.Registry
+	// Telemetry is a pipeline run's per-stage timing/count record.
+	Telemetry = obs.Telemetry
+	// StageStats is one pipeline stage's duration and item count.
+	StageStats = obs.StageStats
+	// Event is one training progress event (Config.Progress).
+	Event = obs.Event
+)
+
+// NewRegistry creates an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
 
 // Benchmark types.
 type (

@@ -232,6 +232,55 @@ func BenchmarkAblationKernelCap(b *testing.B) {
 	}
 }
 
+// BenchmarkTrainInstrumented quantifies the observability layer's
+// training-time overhead: the identical training run with the metrics
+// registry attached vs detached. The disabled path is designed to be free
+// (nil instruments no-op; see the AllocsPerRun tests in internal/svm and
+// internal/obs), and the enabled path should stay within noise.
+func BenchmarkTrainInstrumented(b *testing.B) {
+	bench := ablationBench()
+	run := func(b *testing.B, cfg core.Config) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Train(bench.Train, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("uninstrumented", func(b *testing.B) {
+		run(b, core.DefaultConfig())
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		cfg := core.DefaultConfig()
+		cfg.Obs = NewRegistry()
+		run(b, cfg)
+	})
+}
+
+// BenchmarkDetectInstrumented is the detection-side counterpart.
+func BenchmarkDetectInstrumented(b *testing.B) {
+	bench := ablationBench()
+	run := func(b *testing.B, cfg core.Config) {
+		det, err := core.Train(bench.Train, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			det.Detect(bench.Test)
+		}
+	}
+	b.Run("uninstrumented", func(b *testing.B) {
+		run(b, core.DefaultConfig())
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		cfg := core.DefaultConfig()
+		cfg.Obs = NewRegistry()
+		run(b, cfg)
+	})
+}
+
 // BenchmarkAblationFeedback measures the feedback kernel's contribution.
 func BenchmarkAblationFeedback(b *testing.B) {
 	b.Run("with-feedback", func(b *testing.B) {

@@ -94,6 +94,7 @@ func cmdTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	name, scale, workers := benchFlags(fs)
 	out := fs.String("out", "model.json", "output model path")
+	stats, verbose, debugAddr := obsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -105,6 +106,12 @@ func cmdTrain(args []string) error {
 	if *workers > 0 {
 		cfg.Workers = *workers
 	}
+	reg, progress, err := obsSetup(*stats, *verbose, *debugAddr)
+	if err != nil {
+		return err
+	}
+	cfg.Obs = reg
+	cfg.Progress = progress
 	t0 := time.Now()
 	det, err := core.Train(b.Train, cfg)
 	if err != nil {
@@ -122,6 +129,10 @@ func cmdTrain(args []string) error {
 	fmt.Printf("trained %d kernels in %s (hs clusters %d, nhs centroids %d); model written to %s\n",
 		det.NumKernels(), time.Since(t0).Round(time.Millisecond),
 		st.HotspotClusters, st.NonHotspotCentroids, *out)
+	if *stats {
+		tel := det.Telemetry()
+		printObservability(&tel, nil, reg)
+	}
 	return nil
 }
 
@@ -133,6 +144,7 @@ func cmdDetect(args []string) error {
 	serial := fs.Bool("nopara", false, "disable multithreading (ours_nopara)")
 	model := fs.String("model", "", "load a saved model instead of training")
 	bundleDir := fs.String("bundle", "", "evaluate a bundle directory instead of a generated benchmark")
+	stats, verbose, debugAddr := obsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -169,6 +181,12 @@ func cmdDetect(args []string) error {
 	if *serial {
 		cfg.Workers = 1
 	}
+	reg, progress, err := obsSetup(*stats, *verbose, *debugAddr)
+	if err != nil {
+		return err
+	}
+	cfg.Obs = reg
+	cfg.Progress = progress
 	t0 := time.Now()
 	var det *core.Detector
 	if *model != "" {
@@ -185,6 +203,7 @@ func cmdDetect(args []string) error {
 		if *serial {
 			det.SetWorkers(1)
 		}
+		det.SetObs(reg)
 	} else {
 		trained, err := core.Train(b.Train, cfg)
 		if err != nil {
@@ -203,6 +222,10 @@ func cmdDetect(args []string) error {
 	fmt.Printf("  candidates=%d flagged=%d reclaimed=%d train=%s eval=%s\n",
 		rep.Candidates, rep.Flagged, rep.Reclaimed,
 		trainDur.Round(time.Millisecond), rep.Runtime.Round(time.Millisecond))
+	if *stats {
+		tel := det.Telemetry()
+		printObservability(&tel, &rep.Telemetry, reg)
+	}
 	return nil
 }
 

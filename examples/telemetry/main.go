@@ -1,0 +1,68 @@
+// Telemetry: train and evaluate with the observability layer on — stream
+// per-round training progress through Config.Progress, then dump the
+// per-stage telemetry tables and the metrics registry (counters plus
+// duration-histogram quantiles) as JSON.
+//
+//	go run ./examples/telemetry
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"hotspot/internal/core"
+	"hotspot/internal/iccad"
+	"hotspot/internal/obs"
+)
+
+func main() {
+	bench := iccad.Generate(iccad.Config{
+		Name: "telemetry", Process: "32nm",
+		W: 60000, H: 60000,
+		TestHS: 16, TrainHS: 30, TrainNHS: 120,
+		FillFactor: 0.5, Seed: 7,
+	})
+
+	// One registry for the whole pipeline: training and detection fold
+	// their counters and stage-duration histograms into it.
+	reg := obs.NewRegistry()
+
+	cfg := core.DefaultConfig()
+	cfg.Obs = reg
+	// Progress streams one event per self-training round per kernel.
+	// Calls are serialized, so the callback may touch shared state freely.
+	rounds := 0
+	cfg.Progress = func(e obs.Event) {
+		rounds++
+		if e.Kernel >= 0 {
+			fmt.Printf("[%8s] %-14s kernel=%-3d round=%d C=%g gamma=%g acc=%.3f\n",
+				e.Elapsed.Round(time.Millisecond), e.Stage, e.Kernel, e.Round, e.C, e.Gamma, e.Accuracy)
+		}
+	}
+
+	det, err := core.Train(bench.Train, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntrained %d kernels over %d streamed rounds\n", det.NumKernels(), rounds)
+
+	// Per-stage training breakdown, recorded whether or not a registry is
+	// attached.
+	fmt.Println("\ntraining stages:")
+	tel := det.Telemetry()
+	fmt.Println(tel.String())
+
+	rep := det.Detect(bench.Test)
+	fmt.Println("\ndetection stages:")
+	fmt.Println(rep.Telemetry.String())
+
+	// The registry snapshot aggregates both phases; WriteJSON emits
+	// counters, gauges, and histogram stats (count/sum/max/p50/p95).
+	fmt.Println("\nregistry snapshot:")
+	if err := reg.WriteJSON(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}

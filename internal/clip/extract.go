@@ -3,9 +3,11 @@ package clip
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"hotspot/internal/geom"
 	"hotspot/internal/layout"
+	"hotspot/internal/obs"
 	"hotspot/internal/topo"
 )
 
@@ -58,23 +60,7 @@ type Candidate struct {
 // candidate is kept when the polygon distribution inside the clip meets the
 // requirements. Duplicate core positions are merged.
 func Extract(l *layout.Layout, layer layout.Layer, spec Spec, req Requirements) []Candidate {
-	pieces := DissectLayer(l, layer, spec.CoreSide)
-	seen := make(map[dedupKey]bool, len(pieces))
-	var out []Candidate
-	for _, piece := range pieces {
-		at := geom.Pt(piece.X0, piece.Y0)
-		if !MeetsRequirements(l, layer, spec, at, req) {
-			continue
-		}
-		key := candidateKey(l, layer, spec, at, req)
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		out = append(out, Candidate{At: at})
-	}
-	sortCandidates(out)
-	return out
+	return extractParallel(l, layer, spec, req, 1, nil)
 }
 
 // dedupKey identifies a (snap cell, core topology) equivalence class.
@@ -109,14 +95,50 @@ func floorDiv(a, b geom.Coord) geom.Coord {
 // layout, the multithreaded clip extraction of §III-G. workers <= 1 falls
 // back to the serial path.
 func ExtractParallel(l *layout.Layout, layer layout.Layer, spec Spec, req Requirements, workers int) []Candidate {
+	return ExtractParallelObs(l, layer, spec, req, workers, nil)
+}
+
+// ExtractParallelObs is ExtractParallel with metrics: when reg is non-nil
+// it records the dissected piece count, the candidates kept before and
+// after topology deduplication, and the extraction wall time. Counts are
+// accumulated per band outside the per-piece loop, so instrumentation does
+// not slow the scan, and a nil reg is exactly ExtractParallel.
+func ExtractParallelObs(l *layout.Layout, layer layout.Layer, spec Spec, req Requirements, workers int, reg *obs.Registry) []Candidate {
+	start := time.Now()
+	out := extractParallel(l, layer, spec, req, workers, reg)
+	if reg != nil {
+		reg.Counter("clip.candidates").Add(int64(len(out)))
+		reg.Histogram("clip.extract_seconds").ObserveDuration(time.Since(start))
+	}
+	return out
+}
+
+func extractParallel(l *layout.Layout, layer layout.Layer, spec Spec, req Requirements, workers int, reg *obs.Registry) []Candidate {
 	if workers <= 1 {
-		return Extract(l, layer, spec, req)
+		pieces := DissectLayer(l, layer, spec.CoreSide)
+		reg.Counter("clip.pieces").Add(int64(len(pieces)))
+		seen := make(map[dedupKey]bool, len(pieces))
+		kept := 0
+		var out []Candidate
+		for _, piece := range pieces {
+			at := geom.Pt(piece.X0, piece.Y0)
+			if !MeetsRequirements(l, layer, spec, at, req) {
+				continue
+			}
+			kept++
+			key := candidateKey(l, layer, spec, at, req)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, Candidate{At: at})
+		}
+		reg.Counter("clip.candidates_prededup").Add(int64(kept))
+		sortCandidates(out)
+		return out
 	}
 	pieces := DissectLayer(l, layer, spec.CoreSide)
-	type result struct {
-		idx int
-		cs  []Candidate
-	}
+	reg.Counter("clip.pieces").Add(int64(len(pieces)))
 	chunk := (len(pieces) + workers - 1) / workers
 	if chunk == 0 {
 		chunk = 1
@@ -146,8 +168,10 @@ func ExtractParallel(l *layout.Layout, layer layout.Layer, spec Spec, req Requir
 	}
 	wg.Wait()
 	seen := make(map[dedupKey]bool)
+	kept := 0
 	var out []Candidate
 	for _, cs := range results {
+		kept += len(cs)
 		for _, kc := range cs {
 			if !seen[kc.key] {
 				seen[kc.key] = true
@@ -155,6 +179,7 @@ func ExtractParallel(l *layout.Layout, layer layout.Layer, spec Spec, req Requir
 			}
 		}
 	}
+	reg.Counter("clip.candidates_prededup").Add(int64(kept))
 	sortCandidates(out)
 	return out
 }

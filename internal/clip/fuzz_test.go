@@ -1,0 +1,73 @@
+package clip
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"hotspot/internal/geom"
+)
+
+// seedSetBytes serializes a small valid pattern set for the fuzz corpus.
+func seedSetBytes(t testing.TB, patterns []*Pattern) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, patterns); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzClipJSONRoundTrip feeds arbitrary bytes to ReadSet: it must never
+// panic, and whenever it accepts a document, re-encoding and re-decoding
+// must reproduce the same patterns (decode(encode(x)) == x).
+func FuzzClipJSONRoundTrip(f *testing.F) {
+	// Seeds: a realistic two-pattern set, an empty set, and malformed
+	// variants around the version and geometry validation paths.
+	f.Add(seedSetBytes(f, []*Pattern{
+		{
+			Window: geom.R(0, 0, 4800, 4800),
+			Core:   geom.R(1800, 1800, 3000, 3000),
+			Rects:  []geom.Rect{geom.R(100, 200, 700, 4600), geom.R(2000, 2100, 2600, 2900)},
+			Label:  Hotspot,
+		},
+		{
+			Window: geom.R(-2400, -2400, 2400, 2400),
+			Core:   geom.R(-600, -600, 600, 600),
+			Rects:  nil,
+			Label:  NonHotspot,
+		},
+	}))
+	f.Add(seedSetBytes(f, nil))
+	f.Add([]byte(`{"version":1,"patterns":[{"window":[0,0,10,10],"core":[2,2,8,8],"rects":[[1,1,9,9]],"label":1}]}`))
+	f.Add([]byte(`{"version":2,"patterns":[]}`))
+	f.Add([]byte(`{"version":1,"patterns":[{"window":[0,0,4,4],"core":[2,2,8,8],"label":1}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		first, err := ReadSet(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: only the no-panic property applies
+		}
+		var buf bytes.Buffer
+		if err := WriteSet(&buf, first); err != nil {
+			t.Fatalf("re-encoding accepted set: %v", err)
+		}
+		second, err := ReadSet(&buf)
+		if err != nil {
+			t.Fatalf("re-decoding own encoding: %v\nencoded: %s", err, buf.Bytes())
+		}
+		if len(first) != len(second) {
+			t.Fatalf("round trip changed pattern count: %d -> %d", len(first), len(second))
+		}
+		for i := range first {
+			a, b := first[i], second[i]
+			if a.Window != b.Window || a.Core != b.Core || a.Label != b.Label ||
+				!reflect.DeepEqual(a.Rects, b.Rects) {
+				t.Fatalf("pattern %d not preserved:\n  in:  %+v\n  out: %+v", i, a, b)
+			}
+		}
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"hotspot/internal/clip"
 	"hotspot/internal/geom"
 	"hotspot/internal/layout"
+	"hotspot/internal/obs"
 	"hotspot/internal/topo"
 )
 
@@ -97,6 +98,17 @@ type Config struct {
 	// Workers bounds evaluation/training parallelism; 1 is the serial
 	// "ours_nopara" mode.
 	Workers int
+
+	// Obs, when non-nil, receives framework metrics: stage duration
+	// histograms, clip-extraction and classification counters, and the SVM
+	// solver's iteration/cache counters. nil (the default) disables the
+	// registry at zero cost. Not persisted with saved models.
+	Obs *obs.Registry `json:"-"`
+	// Progress, when non-nil, streams training progress: one event per
+	// self-training round per kernel, plus stage-completion events. Calls
+	// are serialized — the callback never runs concurrently with itself —
+	// so it may write to shared state without locking. Not persisted.
+	Progress func(obs.Event) `json:"-"`
 }
 
 // DefaultConfig returns the §V parameterization.

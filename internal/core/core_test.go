@@ -114,9 +114,9 @@ func TestSerialMatchesParallel(t *testing.T) {
 	cfg := DefaultConfig()
 	d := trainedDetector(t, cfg)
 	par := d.Detect(b.Test)
-	d.cfg.Workers = 1
+	d.SetWorkers(1)
 	ser := d.Detect(b.Test)
-	d.cfg.Workers = cfg.Workers
+	d.SetWorkers(cfg.Workers)
 	if len(par.Hotspots) != len(ser.Hotspots) {
 		t.Fatalf("parallel %d vs serial %d hotspots", len(par.Hotspots), len(ser.Hotspots))
 	}
@@ -190,7 +190,7 @@ func TestBiasTradeoff(t *testing.T) {
 	d := trainedDetector(t, cfg)
 	var prev *Score
 	for _, bias := range []float64{0, 0.4, 0.9} {
-		d.cfg.Bias = bias
+		d.SetBias(bias)
 		rep := d.Detect(b.Test)
 		s := EvaluateReport(rep.Hotspots, b.TruthCores, b.Test.Area(), b.Spec)
 		t.Logf("bias=%.1f: %s", bias, s)
@@ -202,7 +202,7 @@ func TestBiasTradeoff(t *testing.T) {
 		cp := s
 		prev = &cp
 	}
-	d.cfg.Bias = 0
+	d.SetBias(0)
 }
 
 func TestEvaluateReportRules(t *testing.T) {

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"hotspot/internal/clip"
 	"hotspot/internal/features"
+	"hotspot/internal/obs"
 	"hotspot/internal/svm"
 	"hotspot/internal/topo"
 )
@@ -15,13 +17,31 @@ import (
 // Detector is a trained hotspot-detection model: one SVM kernel per hotspot
 // cluster plus the optional feedback kernel.
 type Detector struct {
+	// mu guards cfg: SetBias and SetWorkers may be called while Detect or
+	// ClassifyPattern run on other goroutines, so every evaluation takes a
+	// config snapshot under the read lock. The kernels themselves are
+	// immutable after Train.
+	mu      sync.RWMutex
 	cfg     Config
 	kernels []*kernelUnit
 	// feedback is nil when feedback learning is off or produced no extras.
 	feedback *feedbackUnit
 	// stats records training-time counters for reporting.
 	stats TrainStats
+	// telemetry records the training pipeline's stage timings and counts.
+	telemetry obs.Telemetry
 }
+
+// config returns a snapshot of the detector's configuration, safe against
+// concurrent SetBias/SetWorkers.
+func (d *Detector) config() Config {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.cfg
+}
+
+// Telemetry returns the training-time stage timings and counters.
+func (d *Detector) Telemetry() obs.Telemetry { return d.telemetry }
 
 // TrainStats reports what training did.
 type TrainStats struct {
@@ -90,6 +110,10 @@ var (
 // data-shifting upsampling, topological classification, nonhotspot
 // centroid downsampling, per-cluster iterative SVM learning, and feedback
 // kernel learning.
+//
+// Every stage is timed into the detector's Telemetry; with cfg.Obs set the
+// same stages feed duration histograms and counters in the registry, and
+// with cfg.Progress set each self-training round streams an event.
 func Train(train []*clip.Pattern, cfg Config) (*Detector, error) {
 	var hs, nhs []*clip.Pattern
 	for _, p := range train {
@@ -107,15 +131,20 @@ func Train(train []*clip.Pattern, cfg Config) (*Detector, error) {
 	}
 
 	d := &Detector{cfg: cfg}
+	tel := &d.telemetry
+	emit := progressEmitter(cfg)
 
 	if !cfg.EnableTopo {
 		// Basic baseline: one huge kernel over the raw training data —
 		// no data shifting, no downsampling — matching the unbalanced
 		// #hs/#nhs ratios of the Table III "Basic" rows.
-		unit, iters, err := trainBasicKernel(hs, nhs, cfg)
+		sp := obs.Begin(tel, cfg.Obs, "train.kernels")
+		sp.AddItems(1)
+		unit, iters, err := trainBasicKernel(hs, nhs, cfg, roundEmitter(emit, "train.kernels", 0))
 		if err != nil {
 			return nil, err
 		}
+		sp.End()
 		d.kernels = append(d.kernels, unit)
 		d.stats.HotspotClusters = 1
 		d.stats.UpsampledHS = len(hs)
@@ -127,24 +156,37 @@ func Train(train []*clip.Pattern, cfg Config) (*Detector, error) {
 	// Upsample hotspots by data shifting (§III-D3): four shifted
 	// derivatives per pattern introduce the fuzziness that absorbs clip
 	// extraction misalignment.
+	sp := obs.Begin(tel, cfg.Obs, "train.upsample")
 	hs = upsample(hs, cfg.ShiftNM)
 	d.stats.UpsampledHS = len(hs)
+	sp.AddItems(int64(len(hs)))
+	sp.End()
 
 	// Downsample nonhotspots to topological cluster centroids.
-	nhsClusters := topo.Classify(coreSamples(nhs), cfg.Topo)
+	sp = obs.Begin(tel, cfg.Obs, "train.classify.nonhotspot")
+	nhsClusters := topo.ClassifyObs(coreSamples(nhs), cfg.Topo, cfg.Obs)
 	d.stats.NonHotspotClusters = len(nhsClusters)
+	sp.AddItems(int64(len(nhsClusters)))
+	sp.End()
+	sp = obs.Begin(tel, cfg.Obs, "train.downsample")
 	nhsClusters = topo.MergeClusters(nhsClusters, gridsFor(nhs, cfg), cfg.MaxCentroids)
 	centroids := make([]*clip.Pattern, len(nhsClusters))
 	for i, c := range nhsClusters {
 		centroids[i] = nhs[c.Representative]
 	}
 	d.stats.NonHotspotCentroids = len(centroids)
+	sp.AddItems(int64(len(centroids)))
+	sp.End()
 
-	hsClusters := topo.Classify(coreSamples(hs), cfg.Topo)
+	sp = obs.Begin(tel, cfg.Obs, "train.classify.hotspot")
+	hsClusters := topo.ClassifyObs(coreSamples(hs), cfg.Topo, cfg.Obs)
 	d.stats.HotspotClusters = len(hsClusters)
 	hsClusters = topo.MergeClusters(hsClusters, gridsFor(hs, cfg), cfg.MaxKernels)
+	sp.AddItems(int64(len(hsClusters)))
+	sp.End()
 
 	// Train one kernel per hotspot cluster, in parallel (§III-G).
+	sp = obs.Begin(tel, cfg.Obs, "train.kernels")
 	units := make([]*kernelUnit, len(hsClusters))
 	iters := make([]int, len(hsClusters))
 	errs := make([]error, len(hsClusters))
@@ -160,7 +202,8 @@ func Train(train []*clip.Pattern, cfg Config) (*Detector, error) {
 			for i, m := range cluster.Members {
 				members[i] = hs[m]
 			}
-			units[ci], iters[ci], errs[ci] = trainClusterKernel(cluster, hs[cluster.Representative], members, centroids, cfg)
+			units[ci], iters[ci], errs[ci] = trainClusterKernel(cluster, hs[cluster.Representative], members, centroids, cfg,
+				roundEmitter(emit, "train.kernels", ci))
 		}(ci, cluster)
 	}
 	wg.Wait()
@@ -171,14 +214,57 @@ func Train(train []*clip.Pattern, cfg Config) (*Detector, error) {
 		d.kernels = append(d.kernels, units[ci])
 		d.stats.SelfIters += iters[ci]
 	}
+	sp.AddItems(int64(len(d.kernels)))
+	sp.End()
 
 	if cfg.EnableFeedback {
 		// The self-evaluation set includes shifted nonhotspot derivatives:
 		// evaluation-phase extras mostly come from clip-extraction
 		// alignment variability, which the shifts reproduce.
-		d.trainFeedback(upsample(nhs, cfg.ShiftNM), cfg)
+		sp = obs.Begin(tel, cfg.Obs, "train.feedback")
+		d.trainFeedback(upsample(nhs, cfg.ShiftNM), cfg, roundEmitter(emit, "train.feedback", -1))
+		sp.AddItems(int64(d.stats.FeedbackExtras))
+		sp.End()
 	}
+	d.telemetry.AddCounter("train.self_iters", int64(d.stats.SelfIters))
 	return d, nil
+}
+
+// progressEmitter wraps cfg.Progress so concurrent per-cluster goroutines
+// never run the user callback concurrently; the elapsed field is stamped
+// here. Returns nil when progress streaming is off.
+func progressEmitter(cfg Config) func(obs.Event) {
+	if cfg.Progress == nil {
+		return nil
+	}
+	start := time.Now()
+	var mu sync.Mutex
+	cb := cfg.Progress
+	return func(e obs.Event) {
+		e.Elapsed = time.Since(start)
+		mu.Lock()
+		defer mu.Unlock()
+		cb(e)
+	}
+}
+
+// roundEmitter adapts a progress emitter to iterativeTrain's per-round
+// callback for one stage/kernel. Returns nil when emit is nil.
+func roundEmitter(emit func(obs.Event), stage string, kernel int) func(round, items int, c, gamma, acc float64) {
+	if emit == nil {
+		return nil
+	}
+	return func(round, items int, c, gamma, acc float64) {
+		emit(obs.Event{
+			Stage:    stage,
+			Kernel:   kernel,
+			Round:    round,
+			Items:    items,
+			C:        c,
+			Gamma:    gamma,
+			Accuracy: acc,
+		})
+	}
 }
 
 // coreSamples adapts patterns to topo samples classified on their cores.
@@ -232,7 +318,7 @@ func upsample(hs []*clip.Pattern, shift int32) []*clip.Pattern {
 
 // trainClusterKernel fits one per-cluster kernel: the cluster's hotspots
 // against all nonhotspot centroids, with iterative C/gamma doubling.
-func trainClusterKernel(cluster topo.Cluster, repr *clip.Pattern, members, centroids []*clip.Pattern, cfg Config) (*kernelUnit, int, error) {
+func trainClusterKernel(cluster topo.Cluster, repr *clip.Pattern, members, centroids []*clip.Pattern, cfg Config, onRound func(int, int, float64, float64, float64)) (*kernelUnit, int, error) {
 	unit := &kernelUnit{
 		key:      cluster.Key,
 		centroid: cluster.Centroid,
@@ -253,7 +339,7 @@ func trainClusterKernel(cluster topo.Cluster, repr *clip.Pattern, members, centr
 	unit.scaler = svm.FitScaler(rows)
 	scaled := unit.scaler.ApplyAll(rows)
 
-	model, iters, err := iterativeTrain(scaled, labels, cfg, 1)
+	model, iters, err := iterativeTrain(scaled, labels, cfg, 1, onRound)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -262,7 +348,7 @@ func trainClusterKernel(cluster topo.Cluster, repr *clip.Pattern, members, centr
 }
 
 // trainBasicKernel fits the Table III "Basic" single huge kernel.
-func trainBasicKernel(hs, nhs []*clip.Pattern, cfg Config) (*kernelUnit, int, error) {
+func trainBasicKernel(hs, nhs []*clip.Pattern, cfg Config, onRound func(int, int, float64, float64, float64)) (*kernelUnit, int, error) {
 	unit := &kernelUnit{key: "", hotspots: hs}
 	rows := make([][]float64, 0, len(hs)+len(nhs))
 	labels := make([]int, 0, cap(rows))
@@ -276,7 +362,7 @@ func trainBasicKernel(hs, nhs []*clip.Pattern, cfg Config) (*kernelUnit, int, er
 	}
 	unit.scaler = svm.FitScaler(rows)
 	scaled := unit.scaler.ApplyAll(rows)
-	model, iters, err := iterativeTrain(scaled, labels, cfg, 1)
+	model, iters, err := iterativeTrain(scaled, labels, cfg, 1, onRound)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -287,7 +373,9 @@ func trainBasicKernel(hs, nhs []*clip.Pattern, cfg Config) (*kernelUnit, int, er
 // iterativeTrain realizes §III-D2: train, self-evaluate on the training
 // data, and double C and gamma until the training accuracy reaches the
 // target or the round budget is exhausted. The best model seen is kept.
-func iterativeTrain(rows [][]float64, labels []int, cfg Config, weightPos float64) (*svm.Model, int, error) {
+// onRound, when non-nil, observes each round's parameters and accuracy
+// (the progress-streaming hook).
+func iterativeTrain(rows [][]float64, labels []int, cfg Config, weightPos float64, onRound func(round, items int, c, gamma, acc float64)) (*svm.Model, int, error) {
 	c, gamma := cfg.InitialC, cfg.InitialGamma
 	if c <= 0 {
 		c = 1000
@@ -304,7 +392,7 @@ func iterativeTrain(rows [][]float64, labels []int, cfg Config, weightPos float6
 	rounds := 0
 	for round := 0; round < maxIter; round++ {
 		rounds++
-		model, err := svm.Train(rows, labels, svm.Params{C: c, Gamma: gamma, WeightPos: weightPos})
+		model, err := svm.Train(rows, labels, svm.Params{C: c, Gamma: gamma, WeightPos: weightPos, Obs: cfg.Obs})
 		if err != nil {
 			return nil, rounds, err
 		}
@@ -312,6 +400,10 @@ func iterativeTrain(rows [][]float64, labels []int, cfg Config, weightPos float6
 		if acc > bestAcc {
 			best, bestAcc = model, acc
 		}
+		if onRound != nil {
+			onRound(rounds, len(rows), c, gamma, acc)
+		}
+		cfg.Obs.Counter("core.self_train_rounds").Inc()
 		if acc >= cfg.TrainAccuracy {
 			break
 		}
@@ -333,11 +425,11 @@ func iterativeTrain(rows [][]float64, labels []int, cfg Config, weightPos float6
 // correctly, so they carry no feedback signal; the downsampled-away
 // patterns are exactly the unseen near-misses the feedback kernel exists
 // to reclaim.
-func (d *Detector) trainFeedback(nonhotspots []*clip.Pattern, cfg Config) {
+func (d *Detector) trainFeedback(nonhotspots []*clip.Pattern, cfg Config, onRound func(int, int, float64, float64, float64)) {
 	var extras []*clip.Pattern
 	contributing := map[int]bool{}
 	for _, p := range nonhotspots {
-		hit, kidx := d.multiKernelFlag(p)
+		hit, kidx, _ := d.multiKernelFlag(p, cfg)
 		if hit {
 			extras = append(extras, p)
 			contributing[kidx] = true
@@ -349,7 +441,7 @@ func (d *Detector) trainFeedback(nonhotspots []*clip.Pattern, cfg Config) {
 	}
 	// Sub-cluster the extras with ambit information (classification on
 	// the whole clip window rather than the core only).
-	sub := topo.Classify(windowSamples(extras), cfg.Topo)
+	sub := topo.ClassifyObs(windowSamples(extras), cfg.Topo, cfg.Obs)
 	var negatives []*clip.Pattern
 	for _, c := range sub {
 		negatives = append(negatives, extras[c.Representative])
@@ -382,7 +474,7 @@ func (d *Detector) trainFeedback(nonhotspots []*clip.Pattern, cfg Config) {
 	}
 	fb.scaler = svm.FitScaler(rows)
 	scaled := fb.scaler.ApplyAll(rows)
-	model, _, err := iterativeTrain(scaled, labels, cfg, cfg.FeedbackWeightPos)
+	model, _, err := iterativeTrain(scaled, labels, cfg, cfg.FeedbackWeightPos, onRound)
 	if err != nil {
 		return // feedback is an optimization; training continues without it
 	}

@@ -25,14 +25,14 @@ func TestDiagnoseFeedback(t *testing.T) {
 				continue
 			}
 			p := clip.FromLayout(b.Test, cfg.Layer, cfg.Spec, c.At, 0)
-			hit, _, conf := d.multiKernelEval(p)
+			hit, _, conf, _ := d.multiKernelEval(p, cfg)
 			if !hit {
 				continue
 			}
 			flagged++
 			x := d.feedback.scaler.Apply(d.feedback.vector(p))
 			fb := d.feedback.model.Decision(x)
-			rec := d.feedbackReclaims(p, conf)
+			rec := d.feedbackReclaims(p, conf, cfg)
 			if rec {
 				reclaimed++
 			}

@@ -18,7 +18,7 @@ func TestDiagnoseRoutingDistance(t *testing.T) {
 	var dists []float64
 	for _, c := range cands {
 		p := clip.FromLayout(b.Test, cfg.Layer, cfg.Spec, c.At, 0)
-		hit, kidx := d.multiKernelFlag(p)
+		hit, kidx, _ := d.multiKernelFlag(p, cfg)
 		if !hit {
 			continue
 		}

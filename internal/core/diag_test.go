@@ -34,7 +34,7 @@ func TestDiagnoseMisses(t *testing.T) {
 					break
 				}
 			}
-			if hit, _ := d.multiKernelFlag(p); hit {
+			if hit, _, _ := d.multiKernelFlag(p, cfg); hit {
 				flagged++
 			}
 		}

@@ -9,6 +9,7 @@ import (
 	"hotspot/internal/features"
 	"hotspot/internal/geom"
 	"hotspot/internal/layout"
+	"hotspot/internal/obs"
 	"hotspot/internal/topo"
 )
 
@@ -16,45 +17,60 @@ import (
 type Report struct {
 	// Hotspots are the reported hotspot cores (after redundant clip
 	// removal when enabled).
-	Hotspots []geom.Rect
+	Hotspots []geom.Rect `json:"hotspots"`
 	// Candidates counts the extracted layout clips.
-	Candidates int
+	Candidates int `json:"candidates"`
 	// Flagged counts clips flagged by the multiple kernels before the
 	// feedback kernel and removal.
-	Flagged int
+	Flagged int `json:"flagged"`
 	// Reclaimed counts flags the feedback kernel reclaimed as nonhotspots.
-	Reclaimed int
+	Reclaimed int `json:"reclaimed"`
 	// Runtime is the wall-clock evaluation time.
-	Runtime time.Duration
+	Runtime time.Duration `json:"runtime_ns"`
+	// Telemetry breaks the evaluation down by pipeline stage: clip
+	// extraction, multi-kernel evaluation, and redundant clip removal,
+	// with per-stage wall times, item counts, and aggregate counters
+	// (kernel decision evaluations, feedback reclaims). Always populated;
+	// JSON-serializable.
+	Telemetry obs.Telemetry `json:"telemetry"`
 }
 
 // Detect evaluates a testing layout: density-based clip extraction,
 // multiple-kernel evaluation, feedback-kernel filtering, and redundant clip
-// removal.
+// removal. It is safe to call concurrently from multiple goroutines, and
+// concurrently with SetBias/SetWorkers (each call snapshots the
+// configuration once at entry).
 func (d *Detector) Detect(l *layout.Layout) Report {
 	start := time.Now()
-	cfg := d.cfg
+	cfg := d.config()
 	var rep Report
+	tel := &rep.Telemetry
 
-	cands := clip.ExtractParallel(l, cfg.Layer, cfg.Spec, cfg.Requirements, cfg.Workers)
+	sp := obs.Begin(tel, cfg.Obs, "detect.extract")
+	cands := clip.ExtractParallelObs(l, cfg.Layer, cfg.Spec, cfg.Requirements, cfg.Workers, cfg.Obs)
 	rep.Candidates = len(cands)
+	sp.AddItems(int64(len(cands)))
+	sp.End()
 
 	type verdict struct {
 		core      geom.Rect
 		flagged   bool
 		reclaimed bool
+		evals     int
 	}
+	sp = obs.Begin(tel, cfg.Obs, "detect.evaluate")
 	verdicts := make([]verdict, len(cands))
 	eval := func(i int) {
 		p := clip.FromLayout(l, cfg.Layer, cfg.Spec, cands[i].At, 0)
 		v := &verdicts[i]
 		v.core = p.Core
-		hit, _, conf := d.multiKernelEval(p)
+		hit, _, conf, evals := d.multiKernelEval(p, cfg)
+		v.evals = evals
 		if !hit {
 			return
 		}
 		v.flagged = true
-		if d.feedbackReclaims(p, conf) {
+		if d.feedbackReclaims(p, conf, cfg) {
 			v.reclaimed = true
 		}
 	}
@@ -78,7 +94,9 @@ func (d *Detector) Detect(l *layout.Layout) Report {
 	}
 
 	var cores []geom.Rect
+	kernelEvals := int64(0)
 	for _, v := range verdicts {
+		kernelEvals += int64(v.evals)
 		if !v.flagged {
 			continue
 		}
@@ -89,33 +107,50 @@ func (d *Detector) Detect(l *layout.Layout) Report {
 		}
 		cores = append(cores, v.core)
 	}
+	sp.AddItems(int64(len(cands)))
+	sp.End()
+	tel.AddCounter("detect.kernel_evals", kernelEvals)
+	tel.AddCounter("detect.flagged", int64(rep.Flagged))
+	tel.AddCounter("detect.reclaimed", int64(rep.Reclaimed))
+	cfg.Obs.Counter("detect.kernel_evals").Add(kernelEvals)
+	cfg.Obs.Counter("detect.flagged").Add(int64(rep.Flagged))
+	cfg.Obs.Counter("detect.reclaimed").Add(int64(rep.Reclaimed))
+
 	if cfg.EnableRemoval {
+		sp = obs.Begin(tel, cfg.Obs, "detect.removal")
+		before := len(cores)
 		cores = RemoveRedundant(cores, l, cfg)
+		sp.AddItems(int64(before - len(cores)))
+		sp.End()
 	}
 	rep.Hotspots = cores
 	rep.Runtime = time.Since(start)
+	cfg.Obs.Counter("detect.runs").Inc()
+	cfg.Obs.Histogram("detect.seconds").Observe(rep.Runtime.Seconds())
 	return rep
 }
 
 // ClassifyPattern evaluates one standalone clip, returning the predicted
-// label (after the feedback kernel when present).
+// label (after the feedback kernel when present). Safe for concurrent use.
 func (d *Detector) ClassifyPattern(p *clip.Pattern) clip.Label {
-	hit, _, conf := d.multiKernelEval(p)
+	cfg := d.config()
+	hit, _, conf, _ := d.multiKernelEval(p, cfg)
 	if !hit {
 		return clip.NonHotspot
 	}
-	if d.feedbackReclaims(p, conf) {
+	if d.feedbackReclaims(p, conf, cfg) {
 		return clip.NonHotspot
 	}
 	return clip.Hotspot
 }
 
 // multiKernelEval is multiKernelFlag plus the maximum decision value over
-// all kernels, used as the flag's confidence by the feedback stage.
-func (d *Detector) multiKernelEval(p *clip.Pattern) (bool, int, float64) {
-	flagged, kidx := d.multiKernelFlag(p)
+// all kernels, used as the flag's confidence by the feedback stage. The
+// last return is the number of kernel decision evaluations performed.
+func (d *Detector) multiKernelEval(p *clip.Pattern, cfg Config) (bool, int, float64, int) {
+	flagged, kidx, evals := d.multiKernelFlag(p, cfg)
 	if !flagged {
-		return false, kidx, 0
+		return false, kidx, 0, evals
 	}
 	// Compute the confidence (max decision) only for flagged clips.
 	ex := features.ExtractAll(p.CoreRects(), p.Core)
@@ -123,7 +158,7 @@ func (d *Detector) multiKernelEval(p *clip.Pattern) (bool, int, float64) {
 	for _, k := range d.kernels {
 		var x []float64
 		if k.key == "" && len(d.kernels) == 1 {
-			x = k.scaler.Apply(features.VectorDirectFrom(ex, d.cfg.BasicSlots))
+			x = k.scaler.Apply(features.VectorDirectFrom(ex, cfg.BasicSlots))
 		} else {
 			x = k.scaler.Apply(k.extractor.VectorFrom(ex))
 		}
@@ -131,7 +166,8 @@ func (d *Detector) multiKernelEval(p *clip.Pattern) (bool, int, float64) {
 			best = v
 		}
 	}
-	return true, kidx, best
+	evals += len(d.kernels)
+	return true, kidx, best, evals
 }
 
 // multiKernelFlag runs the multiple-kernel evaluation (§III-D4): the clip
@@ -139,37 +175,39 @@ func (d *Detector) multiKernelEval(p *clip.Pattern) (bool, int, float64) {
 // are extracted once and aligned per kernel. With RouteK > 0 the clip is
 // instead routed to exact-topology kernels or its RouteK density-nearest
 // kernels — a cheaper approximation (see BenchmarkAblationRouting for the
-// accuracy cost). The index of the flagging kernel is returned for
-// feedback training.
-func (d *Detector) multiKernelFlag(p *clip.Pattern) (bool, int) {
+// accuracy cost). Returns the flag, the index of the flagging kernel (for
+// feedback training), and the number of kernel decisions evaluated.
+func (d *Detector) multiKernelFlag(p *clip.Pattern, cfg Config) (bool, int, int) {
 	if len(d.kernels) == 0 {
-		return false, -1
+		return false, -1, 0
 	}
 	ex := features.ExtractAll(p.CoreRects(), p.Core)
 	if len(d.kernels) == 1 && d.kernels[0].key == "" {
 		// Basic single kernel: no routing.
 		k := d.kernels[0]
-		x := k.scaler.Apply(features.VectorDirectFrom(ex, d.cfg.BasicSlots))
-		return k.model.PredictWithBias(x, d.cfg.Bias) > 0, 0
+		x := k.scaler.Apply(features.VectorDirectFrom(ex, cfg.BasicSlots))
+		return k.model.PredictWithBias(x, cfg.Bias) > 0, 0, 1
 	}
-	if d.cfg.RouteK > 0 {
+	if cfg.RouteK > 0 {
 		key := topo.CanonicalKey(p.CoreRects(), p.Core)
-		for _, ki := range routedKernels(d.kernels, key, p, d.cfg) {
+		evals := 0
+		for _, ki := range routedKernels(d.kernels, key, p, cfg) {
 			k := d.kernels[ki]
 			x := k.scaler.Apply(k.extractor.VectorFrom(ex))
-			if k.model.PredictWithBias(x, d.cfg.Bias) > 0 {
-				return true, ki
+			evals++
+			if k.model.PredictWithBias(x, cfg.Bias) > 0 {
+				return true, ki, evals
 			}
 		}
-		return false, -1
+		return false, -1, evals
 	}
 	for ki, k := range d.kernels {
 		x := k.scaler.Apply(k.extractor.VectorFrom(ex))
-		if k.model.PredictWithBias(x, d.cfg.Bias) > 0 {
-			return true, ki
+		if k.model.PredictWithBias(x, cfg.Bias) > 0 {
+			return true, ki, ki + 1
 		}
 	}
-	return false, -1
+	return false, -1, len(d.kernels)
 }
 
 // routedKernels selects kernel indices for a clip: exact topology matches
@@ -215,26 +253,45 @@ func routedKernels(kernels []*kernelUnit, key string, p *clip.Pattern, cfg Confi
 // weak (confidence below FeedbackOverride) — confidently flagged clips are
 // never reclaimed, so accuracy is not sacrificed for false-alarm
 // reduction.
-func (d *Detector) feedbackReclaims(p *clip.Pattern, confidence float64) bool {
+func (d *Detector) feedbackReclaims(p *clip.Pattern, confidence float64, cfg Config) bool {
 	if d.feedback == nil {
 		return false
 	}
-	if confidence >= d.cfg.FeedbackOverride && d.cfg.FeedbackOverride > 0 {
+	if confidence >= cfg.FeedbackOverride && cfg.FeedbackOverride > 0 {
 		return false
 	}
 	x := d.feedback.scaler.Apply(d.feedback.vector(p))
-	return d.feedback.model.Decision(x) < -d.cfg.FeedbackMargin
+	return d.feedback.model.Decision(x) < -cfg.FeedbackMargin
 }
 
 // SetBias changes the detector's decision-threshold bias (the Fig. 15
-// operating-point knob) without retraining.
-func (d *Detector) SetBias(bias float64) { d.cfg.Bias = bias }
+// operating-point knob) without retraining. Safe to call while Detect runs
+// on other goroutines: in-flight detections keep the bias they started
+// with.
+func (d *Detector) SetBias(bias float64) {
+	d.mu.Lock()
+	d.cfg.Bias = bias
+	d.mu.Unlock()
+}
+
+// SetObs attaches (or, with nil, detaches) a metrics registry without
+// retraining — the way to instrument a model restored with Load, whose
+// persisted configuration carries no registry. Safe to call while Detect
+// runs on other goroutines.
+func (d *Detector) SetObs(reg *obs.Registry) {
+	d.mu.Lock()
+	d.cfg.Obs = reg
+	d.mu.Unlock()
+}
 
 // SetWorkers changes evaluation parallelism (1 = the serial ours_nopara
-// mode) without retraining.
+// mode) without retraining. Safe to call while Detect runs on other
+// goroutines.
 func (d *Detector) SetWorkers(n int) {
 	if n < 1 {
 		n = 1
 	}
+	d.mu.Lock()
 	d.cfg.Workers = n
+	d.mu.Unlock()
 }

@@ -85,6 +85,7 @@ func TrainMultiLayer(train []*clip.MultiPattern, classifyLayer int, cfg Config) 
 		return topo.CanonicalDensity(p.Layer(classifyLayer), p.Core, grid)
 	}, len(hs)), cfg.MaxKernels)
 
+	emit := progressEmitter(cfg)
 	for ci, cluster := range hsClusters {
 		rows := make([][]float64, 0, len(cluster.Members)+len(centroids))
 		labels := make([]int, 0, cap(rows))
@@ -97,7 +98,7 @@ func TrainMultiLayer(train []*clip.MultiPattern, classifyLayer int, cfg Config) 
 			labels = append(labels, -1)
 		}
 		scaler := svm.FitScaler(rows)
-		model, _, err := iterativeTrain(scaler.ApplyAll(rows), labels, cfg, 1)
+		model, _, err := iterativeTrain(scaler.ApplyAll(rows), labels, cfg, 1, roundEmitter(emit, "train.multilayer", ci))
 		if err != nil {
 			return nil, fmt.Errorf("core: multilayer kernel %d: %w", ci, err)
 		}

@@ -55,7 +55,7 @@ func (p persistedSVM) model() *svm.Model {
 func (d *Detector) Save(w io.Writer) error {
 	pm := persistedModel{
 		Version: modelFormatVersion,
-		Config:  d.cfg,
+		Config:  d.config(),
 		Stats:   d.stats,
 	}
 	for _, k := range d.kernels {

@@ -1,0 +1,25 @@
+package obs
+
+import "time"
+
+// Event is one training-progress notification streamed through
+// core.Config.Progress. Fields that do not apply to a stage are zero;
+// Kernel is -1 when the event is not tied to a per-cluster kernel.
+type Event struct {
+	// Stage names the pipeline phase emitting the event, e.g.
+	// "train.kernels", "train.feedback".
+	Stage string `json:"stage"`
+	// Kernel is the per-cluster kernel index, -1 when not applicable.
+	Kernel int `json:"kernel"`
+	// Round is the 1-based self-training round within the stage.
+	Round int `json:"round,omitempty"`
+	// C and Gamma are the SVM parameters of the round.
+	C     float64 `json:"c,omitempty"`
+	Gamma float64 `json:"gamma,omitempty"`
+	// Accuracy is the self-evaluation accuracy reached by the round.
+	Accuracy float64 `json:"accuracy,omitempty"`
+	// Items counts the training rows of the stage.
+	Items int `json:"items,omitempty"`
+	// Elapsed is the wall-clock time since the stage started.
+	Elapsed time.Duration `json:"elapsed_ns,omitempty"`
+}

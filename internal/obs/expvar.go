@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+)
+
+var (
+	publishMu sync.Mutex
+	published = map[string]*Registry{}
+)
+
+// PublishExpvar exposes the registry's live snapshot under the given
+// expvar name (served at /debug/vars by expvar.Handler). Republishing the
+// same name rebinds it to the new registry instead of panicking the way
+// expvar.Publish does; the name stays registered for the process lifetime,
+// as expvar requires.
+func (r *Registry) PublishExpvar(name string) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if _, ok := published[name]; !ok {
+		expvar.Publish(name, expvar.Func(func() any {
+			publishMu.Lock()
+			reg := published[name]
+			publishMu.Unlock()
+			return reg.Snapshot()
+		}))
+	}
+	published[name] = r
+}

@@ -1,0 +1,103 @@
+package svm
+
+import (
+	"testing"
+
+	"hotspot/internal/obs"
+)
+
+// trainingSet builds a small separable two-class problem.
+func trainingSet() ([][]float64, []int) {
+	var x [][]float64
+	var y []int
+	for i := 0; i < 20; i++ {
+		f := float64(i)
+		x = append(x, []float64{f * 0.01, 1 + f*0.01})
+		y = append(y, +1)
+		x = append(x, []float64{1 + f*0.01, f * 0.01})
+		y = append(y, -1)
+	}
+	return x, y
+}
+
+func TestTrainRecordsMetrics(t *testing.T) {
+	x, y := trainingSet()
+	reg := obs.NewRegistry()
+	m, err := Train(x, y, Params{C: 10, Gamma: 0.5, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("svm.trainings").Value(); got != 1 {
+		t.Fatalf("trainings: %d", got)
+	}
+	if got := reg.Counter("svm.smo_iterations").Value(); got != int64(m.Iters) || got == 0 {
+		t.Fatalf("smo_iterations: %d, model says %d", got, m.Iters)
+	}
+	if got := reg.Counter("svm.support_vectors").Value(); got != int64(len(m.SVs)) {
+		t.Fatalf("support_vectors: %d, model has %d", got, len(m.SVs))
+	}
+	if st := reg.Histogram("svm.train_seconds").Stats(); st.Count != 1 || st.Max <= 0 {
+		t.Fatalf("train_seconds: %+v", st)
+	}
+}
+
+func TestTrainNilObsMatchesInstrumented(t *testing.T) {
+	// A nil registry must not change the trained model.
+	x, y := trainingSet()
+	plain, err := Train(x, y, Params{C: 10, Gamma: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := Train(x, y, Params{C: 10, Gamma: 0.5, Obs: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Rho != inst.Rho || len(plain.SVs) != len(inst.SVs) || plain.Iters != inst.Iters {
+		t.Fatalf("instrumentation changed the model: %+v vs %+v", plain, inst)
+	}
+}
+
+// TestDisabledObsZeroAllocInnerLoop asserts the ISSUE guardrail: with a
+// nil (disabled) registry, the instrumentation that sits inside the SMO
+// inner loop — the kernel-cache miss counter resolved once per training
+// run and bumped per computed row — performs zero allocations.
+func TestDisabledObsZeroAllocInnerLoop(t *testing.T) {
+	var reg *obs.Registry // disabled
+	misses := reg.Counter("svm.kernel_cache_misses")
+	iters := reg.Counter("svm.smo_iterations")
+	hist := reg.Histogram("svm.train_seconds")
+	allocs := testing.AllocsPerRun(1000, func() {
+		// The exact calls the solver makes while iterating.
+		misses.Inc()
+		iters.Add(17)
+		hist.Observe(0.002)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-registry SMO instrumentation allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestKernelCacheMissCounting pins the miss counter to the row-eviction
+// path: problems above fullMatrixLimit rows compute rows on demand.
+func TestKernelCacheMissCounting(t *testing.T) {
+	x := make([][]float64, fullMatrixLimit+1)
+	for i := range x {
+		x[i] = []float64{float64(i)}
+	}
+	reg := obs.NewRegistry()
+	c := newKernelCache(x, 0.1, reg.Counter("misses"))
+	c.row(0)
+	c.row(0) // cached: no new miss
+	c.row(1)
+	if got := reg.Counter("misses").Value(); got != 2 {
+		t.Fatalf("misses: %d, want 2", got)
+	}
+	// The full-matrix path never misses.
+	small := x[:10]
+	reg2 := obs.NewRegistry()
+	c2 := newKernelCache(small, 0.1, reg2.Counter("misses"))
+	c2.row(3)
+	if got := reg2.Counter("misses").Value(); got != 0 {
+		t.Fatalf("full-matrix misses: %d, want 0", got)
+	}
+}

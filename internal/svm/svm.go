@@ -9,6 +9,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
+
+	"hotspot/internal/obs"
 )
 
 // Params configures one training run.
@@ -24,6 +27,11 @@ type Params struct {
 	// WeightPos and WeightNeg scale C per class (1 when zero), the usual
 	// remedy for residual class imbalance.
 	WeightPos, WeightNeg float64
+	// Obs receives training metrics (SMO iterations, kernel-cache misses,
+	// support-vector counts, training wall time). nil disables
+	// instrumentation at zero cost — the disabled path adds no allocations
+	// to the SMO inner loop.
+	Obs *obs.Registry
 }
 
 // DefaultParams mirror the paper's initial values: C = 1000, gamma = 0.01.
@@ -89,13 +97,14 @@ func Train(x [][]float64, y []int, p Params) (*Model, error) {
 		}
 	}
 
+	start := time.Now()
 	s := &solver{
 		x: x, gamma: p.Gamma,
 		y:      make([]float64, n),
 		alpha:  make([]float64, n),
 		grad:   make([]float64, n),
 		cBound: make([]float64, n),
-		cache:  newKernelCache(x, p.Gamma),
+		cache:  newKernelCache(x, p.Gamma, p.Obs.Counter("svm.kernel_cache_misses")),
 	}
 	for i, t := range y {
 		s.y[i] = float64(t)
@@ -115,7 +124,14 @@ func Train(x [][]float64, y []int, p Params) (*Model, error) {
 		}
 		s.update(i, j)
 	}
-	return s.buildModel(iters, p)
+	m, err := s.buildModel(iters, p)
+	if err == nil {
+		p.Obs.Counter("svm.trainings").Inc()
+		p.Obs.Counter("svm.smo_iterations").Add(int64(iters))
+		p.Obs.Counter("svm.support_vectors").Add(int64(len(m.SVs)))
+		p.Obs.Histogram("svm.train_seconds").ObserveDuration(time.Since(start))
+	}
+	return m, err
 }
 
 type solver struct {
@@ -302,12 +318,14 @@ type kernelCache struct {
 	rows  map[int][]float64
 	order []int // FIFO eviction order
 	limit int
+	// misses counts row computations (nil-safe; nil when obs is off).
+	misses *obs.Counter
 }
 
 const fullMatrixLimit = 2048
 
-func newKernelCache(x [][]float64, gamma float64) *kernelCache {
-	c := &kernelCache{x: x, gamma: gamma, limit: 512}
+func newKernelCache(x [][]float64, gamma float64, misses *obs.Counter) *kernelCache {
+	c := &kernelCache{x: x, gamma: gamma, limit: 512, misses: misses}
 	if len(x) <= fullMatrixLimit {
 		c.full = make([][]float64, len(x))
 		for i := range x {
@@ -334,6 +352,7 @@ func (c *kernelCache) row(i int) []float64 {
 	if r, ok := c.rows[i]; ok {
 		return r
 	}
+	c.misses.Inc()
 	r := make([]float64, len(c.x))
 	for j := range c.x {
 		r[j] = rbf(c.x[i], c.x[j], c.gamma)

@@ -2,8 +2,10 @@ package topo
 
 import (
 	"sort"
+	"time"
 
 	"hotspot/internal/geom"
+	"hotspot/internal/obs"
 )
 
 // Options parameterizes the two-level classification.
@@ -64,6 +66,27 @@ type Sample struct {
 // density-based clustering with the Eq. (2) radius inside each bucket.
 // Cluster order is deterministic.
 func Classify(patterns []Sample, opts Options) []Cluster {
+	return ClassifyObs(patterns, opts, nil)
+}
+
+// ClassifyObs is Classify with metrics: when reg is non-nil it records the
+// sample count, the string-level bucket count, the final cluster count,
+// and the classification wall time. A nil reg is exactly Classify.
+func ClassifyObs(patterns []Sample, opts Options, reg *obs.Registry) []Cluster {
+	start := time.Now()
+	clusters, buckets := classify(patterns, opts)
+	if reg != nil {
+		reg.Counter("topo.samples").Add(int64(len(patterns)))
+		reg.Counter("topo.string_buckets").Add(int64(buckets))
+		reg.Counter("topo.clusters").Add(int64(len(clusters)))
+		reg.Histogram("topo.classify_seconds").ObserveDuration(time.Since(start))
+	}
+	return clusters
+}
+
+// classify is the implementation; it also reports the string-level bucket
+// count for instrumentation.
+func classify(patterns []Sample, opts Options) ([]Cluster, int) {
 	if opts.DensityGrid <= 0 {
 		opts.DensityGrid = DefaultOptions.DensityGrid
 	}
@@ -130,7 +153,7 @@ func Classify(patterns []Sample, opts Options) []Cluster {
 		b := byKey[key]
 		out = append(out, densityCluster(b.key, b.members, grids, opts)...)
 	}
-	return out
+	return out, len(order)
 }
 
 // CanonicalDensity computes the density grid in the canonical orientation

@@ -1,0 +1,96 @@
+package topo
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"hotspot/internal/geom"
+)
+
+// fuzzGeometry decodes a byte stream into a window plus rectangles: two
+// bytes per coordinate, four coordinates per rectangle, everything taken
+// modulo a 1200-unit frame so the geometry clusters around the window the
+// way real core patterns do (degenerate and out-of-window rects included
+// on purpose — ComputeStrings must clip them away, not crash).
+func fuzzGeometry(data []byte) ([]geom.Rect, geom.Rect) {
+	const side = 1200
+	window := geom.R(0, 0, side, side)
+	coord := func(i int) geom.Coord {
+		if 2*i+1 >= len(data) {
+			return 0
+		}
+		v := int32(binary.LittleEndian.Uint16(data[2*i:]))
+		return geom.Coord(v%(side+400)) - 200 // spill past the window edges
+	}
+	var rects []geom.Rect
+	for r := 0; r < len(data)/8 && r < 24; r++ {
+		rects = append(rects, geom.R(coord(4*r), coord(4*r+1), coord(4*r+2), coord(4*r+3)))
+	}
+	return rects, window
+}
+
+// FuzzDirectionalStrings drives the §III-B directional-string machinery
+// with arbitrary geometry: ComputeStrings and Encode must never panic,
+// encoding must be deterministic, every slice code must survive the
+// reverse involution, and a pattern must composite-match itself.
+func FuzzDirectionalStrings(f *testing.F) {
+	f.Add([]byte{})
+	// One centered block (the paper's single-block slice example).
+	f.Add([]byte{
+		0x2C, 0x01, 0x2C, 0x01, 0x84, 0x03, 0x84, 0x03, // 300,300 .. 900,900
+	})
+	// Two blocks plus a degenerate (zero-area) rect.
+	f.Add([]byte{
+		0x64, 0x00, 0x64, 0x00, 0xC8, 0x00, 0x20, 0x03, // 100,100 .. 200,800
+		0x20, 0x03, 0x64, 0x00, 0x4C, 0x04, 0xC8, 0x00, // 800,100 .. 1100,200
+		0x10, 0x01, 0x10, 0x01, 0x10, 0x01, 0x10, 0x01, // empty
+	})
+	// Overlapping rects and a rect hanging outside the window.
+	f.Add([]byte{
+		0x00, 0x00, 0x00, 0x00, 0xB0, 0x04, 0x60, 0x00,
+		0x90, 0x01, 0x00, 0x00, 0x58, 0x02, 0xB0, 0x04,
+		0xFF, 0xFF, 0xFF, 0xFF, 0x10, 0x00, 0x10, 0x00,
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rects, window := fuzzGeometry(data)
+
+		s := ComputeStrings(rects, window)
+		enc := s.Encode()
+		if again := ComputeStrings(rects, window).Encode(); again != enc {
+			t.Fatalf("Encode not deterministic: %q vs %q", enc, again)
+		}
+
+		// The four sides slice the same geometry: opposite sides must have
+		// equal slice counts (bottom/top slice vertically, right/left
+		// horizontally).
+		if len(s.Bottom) != len(s.Top) || len(s.Right) != len(s.Left) {
+			t.Fatalf("side lengths inconsistent: b=%d t=%d r=%d l=%d",
+				len(s.Bottom), len(s.Top), len(s.Right), len(s.Left))
+		}
+
+		// reverse is an involution on slice codes, and every code carries
+		// the leading marker bit (is nonzero).
+		for _, side := range [][]uint64{s.Bottom, s.Right, s.Top, s.Left} {
+			for _, c := range side {
+				if c == 0 {
+					t.Fatal("slice code missing marker bit")
+				}
+				if rr := reverse(reverse(c)); rr != c {
+					t.Fatalf("reverse involution broken: %b -> %b", c, rr)
+				}
+			}
+		}
+
+		// Theorem 1 sanity: every pattern composite-matches itself, and the
+		// canonical key — the lexicographic minimum over the eight
+		// orientations — is stable across calls.
+		if !MatchComposite(s, s) {
+			t.Fatalf("pattern does not composite-match itself: %q", enc)
+		}
+		key := CanonicalKey(rects, window)
+		if again := CanonicalKey(rects, window); again != key {
+			t.Fatalf("CanonicalKey not deterministic: %q vs %q", key, again)
+		}
+	})
+}
