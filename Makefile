@@ -1,7 +1,10 @@
 GO ?= go
 FUZZTIME ?= 10s
+STATICCHECK ?= staticcheck
+GOVULNCHECK ?= govulncheck
+COVERPROFILE ?= cover.out
 
-.PHONY: all build vet test test-race fuzz bench check
+.PHONY: all build vet test test-race fuzz bench check lint cover cover-check
 
 all: check
 
@@ -28,5 +31,27 @@ fuzz:
 # Observability overhead guardrails (instrumented vs uninstrumented).
 bench:
 	$(GO) test -run='^$$' -bench='Instrumented' -benchtime=1x .
+
+# Static analysis beyond vet. CI installs the two tools; locally:
+#   go install honnef.co/go/tools/cmd/staticcheck@latest
+#   go install golang.org/x/vuln/cmd/govulncheck@latest
+lint: vet
+	$(STATICCHECK) ./...
+	$(GOVULNCHECK) ./...
+
+# Atomic-mode coverage profile across every package.
+cover:
+	$(GO) test -covermode=atomic -coverprofile=$(COVERPROFILE) ./...
+	@$(GO) tool cover -func=$(COVERPROFILE) | tail -n 1
+
+# cover-check fails when total coverage drops below the committed baseline
+# (coverage-baseline.txt). Raise the baseline when coverage improves; never
+# lower it to make a regression pass.
+cover-check: cover
+	@total=$$($(GO) tool cover -func=$(COVERPROFILE) | awk '/^total:/{sub(/%/,"",$$3); print $$3}'); \
+	base=$$(cat coverage-baseline.txt); \
+	echo "total coverage: $$total% (baseline: $$base%)"; \
+	awk -v t="$$total" -v b="$$base" 'BEGIN{exit !(t+0 >= b+0)}' || { \
+		echo "FAIL: coverage $$total% fell below the $$base% baseline"; exit 1; }
 
 check: vet build test test-race fuzz

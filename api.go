@@ -16,6 +16,7 @@ import (
 	"hotspot/internal/iccad"
 	"hotspot/internal/layout"
 	"hotspot/internal/obs"
+	"hotspot/internal/server"
 )
 
 // Geometry types.
@@ -112,6 +113,28 @@ type (
 
 // NewRegistry creates an empty metrics registry.
 func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// Serving types. Server is hotspotd as a library: an HTTP/JSON inference
+// API (batch clip classification, layout scanning, hot model reload,
+// health/readiness, pprof + expvar) over a Detector, with a bounded
+// batching worker pool, per-request deadlines, 429 backpressure, and
+// graceful drain. See `hotspot serve` for the packaged daemon.
+type (
+	// Server serves a Detector over HTTP.
+	Server = server.Server
+	// ServerConfig parameterizes the server; its zero value gets
+	// serving-sensible defaults.
+	ServerConfig = server.Config
+)
+
+// NewServer loads the model at cfg.ModelPath and serves it.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// NewServerWithDetector serves an in-process detector (trained or loaded
+// by the caller).
+func NewServerWithDetector(det *Detector, cfg ServerConfig) (*Server, error) {
+	return server.NewWithDetector(det, cfg)
+}
 
 // Benchmark types.
 type (

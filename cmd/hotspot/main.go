@@ -5,6 +5,7 @@
 //	hotspot stats   -bench MX_benchmark1 -scale 0.5
 //	hotspot train   -bench MX_benchmark1 -scale 0.5 -out model.json
 //	hotspot detect  -bench MX_benchmark1 -scale 0.5 [-basic] [-bias 0.35] [-model model.json]
+//	hotspot serve   -model model.json -addr :8080
 //	hotspot bench   -table 3 -scale 0.25      (or -fig 15)
 //	hotspot gdsinfo layout.gds
 //
@@ -38,6 +39,8 @@ func main() {
 		err = cmdRender(os.Args[2:])
 	case "drc":
 		err = cmdDRC(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
 	case "gdsinfo":
@@ -65,6 +68,7 @@ commands:
   detect   train (or load) the framework and evaluate a testing layout
   render   run detection and write an SVG (and optional aerial heatmap)
   drc      run basic design-rule checks over a benchmark layout
+  serve    run hotspotd, the HTTP/JSON inference server, on a saved model
   bench    regenerate a paper table (-table 1..5) or figure (-fig 15)
   gdsinfo  summarize a GDSII file`)
 }

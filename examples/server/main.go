@@ -1,0 +1,139 @@
+// Server: run hotspotd in process — train a small model, serve it over
+// HTTP, and exercise the API end to end: readiness, batch clip
+// classification (POST /v1/detect), layout scanning (POST /v1/scan), hot
+// model reload (POST /v1/reload), and a graceful drain.
+//
+//	go run ./examples/server
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hotspot/internal/clip"
+	"hotspot/internal/core"
+	"hotspot/internal/iccad"
+	"hotspot/internal/server"
+)
+
+func main() {
+	// Train a small model (the same benchmark as examples/quickstart).
+	bench := iccad.Generate(iccad.Config{
+		Name: "server_example", Process: "32nm",
+		W: 60000, H: 60000,
+		TestHS: 16, TrainHS: 30, TrainNHS: 120,
+		FillFactor: 0.5, Seed: 7,
+	})
+	t0 := time.Now()
+	det, err := core.Train(bench.Train, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d kernels in %s\n", det.NumKernels(), time.Since(t0).Round(time.Millisecond))
+
+	// Persist the model so /v1/reload has something to re-read — in
+	// production this file comes from `hotspot train -out`.
+	dir, err := os.MkdirTemp("", "hotspotd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	modelPath := filepath.Join(dir, "model.json")
+	f, err := os.Create(modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := det.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+
+	// Serve it. ListenAndServe would bind cfg.Addr; here we grab an
+	// ephemeral port explicitly so the example never collides.
+	srv, err := server.NewWithDetector(det, server.Config{ModelPath: modelPath})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("hotspotd listening on", base)
+
+	// Readiness probe.
+	get(base + "/readyz")
+
+	// Batch clip classification: the body is the clip-set JSON written by
+	// clip.WriteSet (the same format `hotspot gen -train` emits).
+	var clips bytes.Buffer
+	if err := clip.WriteSet(&clips, bench.Train[:10]); err != nil {
+		log.Fatal(err)
+	}
+	post(base+"/v1/detect", &clips)
+
+	// Layout scanning: post a rectangle soup, get the full detection
+	// report (extraction, multi-kernel evaluation, feedback, removal).
+	scan := struct {
+		Name  string     `json:"name"`
+		Rects [][4]int32 `json:"rects"`
+	}{Name: "example_scan"}
+	for _, r := range bench.Test.Rects(bench.Layer) {
+		scan.Rects = append(scan.Rects, [4]int32{r.X0, r.Y0, r.X1, r.Y1})
+	}
+	var scanBody bytes.Buffer
+	if err := json.NewEncoder(&scanBody).Encode(scan); err != nil {
+		log.Fatal(err)
+	}
+	post(base+"/v1/scan", &scanBody)
+
+	// Hot reload: swap in the persisted model without dropping traffic.
+	post(base+"/v1/reload", bytes.NewReader([]byte("{}")))
+
+	// Graceful drain: cancel the serve context; in-flight requests finish.
+	stop()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("drained cleanly")
+}
+
+func get(url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(url, resp)
+}
+
+func post(url string, body io.Reader) {
+	resp, err := http.Post(url, "application/json", body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(url, resp)
+}
+
+func show(url string, resp *http.Response) {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(data) > 200 {
+		data = append(data[:200], []byte("...")...)
+	}
+	fmt.Printf("%s -> %d %s\n", url, resp.StatusCode, bytes.TrimSpace(data))
+}

@@ -43,6 +43,11 @@ func (d *Detector) config() Config {
 // Telemetry returns the training-time stage timings and counters.
 func (d *Detector) Telemetry() obs.Telemetry { return d.telemetry }
 
+// Config returns a snapshot of the detector's current configuration (the
+// one it was trained or loaded with, plus any SetBias/SetWorkers/SetObs
+// applied since). Safe for concurrent use.
+func (d *Detector) Config() Config { return d.config() }
+
 // TrainStats reports what training did.
 type TrainStats struct {
 	// HotspotClusters and NonHotspotClusters count the topological

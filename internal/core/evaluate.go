@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
@@ -41,6 +42,18 @@ type Report struct {
 // concurrently with SetBias/SetWorkers (each call snapshots the
 // configuration once at entry).
 func (d *Detector) Detect(l *layout.Layout) Report {
+	rep, _ := d.DetectContext(context.Background(), l)
+	return rep
+}
+
+// DetectContext is Detect with cooperative cancellation: the context's
+// deadline or cancellation is checked between pipeline stages and before
+// every candidate-clip evaluation, so a long full-chip scan stops within
+// one clip's evaluation of the deadline. On cancellation the partial
+// report accumulated so far is returned together with the context's error;
+// callers must treat a non-nil error as "incomplete" regardless of the
+// report's contents. The concurrency guarantees of Detect apply.
+func (d *Detector) DetectContext(ctx context.Context, l *layout.Layout) (Report, error) {
 	start := time.Now()
 	cfg := d.config()
 	var rep Report
@@ -51,6 +64,11 @@ func (d *Detector) Detect(l *layout.Layout) Report {
 	rep.Candidates = len(cands)
 	sp.AddItems(int64(len(cands)))
 	sp.End()
+	if err := ctx.Err(); err != nil {
+		cfg.Obs.Counter("detect.cancelled").Inc()
+		rep.Runtime = time.Since(start)
+		return rep, err
+	}
 
 	type verdict struct {
 		core      geom.Rect
@@ -61,6 +79,9 @@ func (d *Detector) Detect(l *layout.Layout) Report {
 	sp = obs.Begin(tel, cfg.Obs, "detect.evaluate")
 	verdicts := make([]verdict, len(cands))
 	eval := func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
 		p := clip.FromLayout(l, cfg.Layer, cfg.Spec, cands[i].At, 0)
 		v := &verdicts[i]
 		v.core = p.Core
@@ -91,6 +112,12 @@ func (d *Detector) Detect(l *layout.Layout) Report {
 		for i := range cands {
 			eval(i)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		sp.End()
+		cfg.Obs.Counter("detect.cancelled").Inc()
+		rep.Runtime = time.Since(start)
+		return rep, err
 	}
 
 	var cores []geom.Rect
@@ -127,7 +154,7 @@ func (d *Detector) Detect(l *layout.Layout) Report {
 	rep.Runtime = time.Since(start)
 	cfg.Obs.Counter("detect.runs").Inc()
 	cfg.Obs.Histogram("detect.seconds").Observe(rep.Runtime.Seconds())
-	return rep
+	return rep, nil
 }
 
 // ClassifyPattern evaluates one standalone clip, returning the predicted

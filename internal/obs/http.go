@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"strconv"
+	"time"
+)
+
+// ObserveHTTP records one served HTTP request into the registry's
+// conventional HTTP instruments:
+//
+//	http.requests               total requests across all routes
+//	http.requests.<route>       per-route request count
+//	http.status.<N>xx           responses by status class (2xx, 4xx, 5xx, ...)
+//	http.latency.<route>        per-route latency histogram (seconds)
+//
+// Route names are caller-chosen stable identifiers (e.g. "detect", not the
+// raw URL path), keeping instrument cardinality bounded. No-op on a nil
+// registry.
+func (r *Registry) ObserveHTTP(route string, status int, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.Counter("http.requests").Inc()
+	r.Counter("http.requests." + route).Inc()
+	r.Counter("http.status." + strconv.Itoa(status/100) + "xx").Inc()
+	r.Histogram("http.latency." + route).ObserveDuration(d)
+}

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestObserveHTTP(t *testing.T) {
+	r := NewRegistry()
+	r.ObserveHTTP("detect", 200, 5*time.Millisecond)
+	r.ObserveHTTP("detect", 429, time.Millisecond)
+	r.ObserveHTTP("scan", 504, time.Second)
+
+	snap := r.Snapshot()
+	if got := snap.Counters["http.requests"]; got != 3 {
+		t.Fatalf("http.requests = %d, want 3", got)
+	}
+	if got := snap.Counters["http.requests.detect"]; got != 2 {
+		t.Fatalf("http.requests.detect = %d, want 2", got)
+	}
+	if got := snap.Counters["http.status.2xx"]; got != 1 {
+		t.Fatalf("http.status.2xx = %d, want 1", got)
+	}
+	if got := snap.Counters["http.status.4xx"]; got != 1 {
+		t.Fatalf("http.status.4xx = %d, want 1", got)
+	}
+	if got := snap.Counters["http.status.5xx"]; got != 1 {
+		t.Fatalf("http.status.5xx = %d, want 1", got)
+	}
+	h := snap.Histograms["http.latency.scan"]
+	if h.Count != 1 || h.Max < 0.9 {
+		t.Fatalf("http.latency.scan = %+v", h)
+	}
+}
+
+func TestObserveHTTPNilRegistry(t *testing.T) {
+	var r *Registry
+	r.ObserveHTTP("detect", 200, time.Millisecond) // must not panic
+}

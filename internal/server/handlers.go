@@ -1,0 +1,250 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"hotspot/internal/clip"
+	"hotspot/internal/core"
+	"hotspot/internal/geom"
+	"hotspot/internal/layout"
+)
+
+// errorResponse is the JSON error envelope of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// detectResponse answers POST /v1/detect: Labels[i] is the predicted label
+// of the i-th posted pattern (+1 hotspot, -1 nonhotspot, matching the
+// clip-set JSON label convention).
+type detectResponse struct {
+	Count    int          `json:"count"`
+	Hotspots int          `json:"hotspots"`
+	Labels   []clip.Label `json:"labels"`
+}
+
+// scanRequest is the POST /v1/scan body: a rectangle soup forming the
+// layout window to scan. Layer defaults to the layer the served model was
+// trained on. Rects use the clip-set packing [x0,y0,x1,y1] in dbu.
+type scanRequest struct {
+	Name  string          `json:"name,omitempty"`
+	Layer *layout.Layer   `json:"layer,omitempty"`
+	Rects [][4]geom.Coord `json:"rects"`
+}
+
+// scanResponse wraps the detection report with the scanned geometry size.
+type scanResponse struct {
+	Rects  int         `json:"rects"`
+	Report core.Report `json:"report"`
+}
+
+// reloadRequest optionally overrides the model path to load; empty falls
+// back to the path the server was started with.
+type reloadRequest struct {
+	Path string `json:"path,omitempty"`
+}
+
+type reloadResponse struct {
+	Path    string `json:"path"`
+	Kernels int    `json:"kernels"`
+	Reloads int64  `json:"reloads"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v) //nolint:errcheck // client gone: nothing left to do
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeBackpressure is the 429 path: the client should retry shortly.
+func writeBackpressure(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests, "%v", err)
+}
+
+// writeCtxError maps a context error to 504 (deadline) or 503 (cancelled,
+// e.g. client disconnect or shutdown).
+func writeCtxError(w http.ResponseWriter, err error) {
+	code := http.StatusServiceUnavailable
+	if errors.Is(err, context.DeadlineExceeded) {
+		code = http.StatusGatewayTimeout
+	}
+	writeError(w, code, "%v", err)
+}
+
+// requestContext derives the request's working context: RequestTimeout by
+// default, tightened (never loosened) by a `timeout` query parameter.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	d := s.cfg.RequestTimeout
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		if td, err := time.ParseDuration(v); err == nil && td > 0 && td < d {
+			d = td
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+func (s *Server) body(r *http.Request) io.Reader {
+	return io.LimitReader(r.Body, s.cfg.MaxBodyBytes)
+}
+
+// handleDetect classifies a posted clip set. Every clip is enqueued on the
+// shared pool (coalescing across requests); a full queue rejects the whole
+// request with 429 before any waiting happens.
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	patterns, err := clip.ReadSet(s.body(r))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(patterns) == 0 {
+		writeError(w, http.StatusBadRequest, "empty pattern set")
+		return
+	}
+	if len(patterns) > s.cfg.MaxPatterns {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"%d patterns exceed the %d-pattern request cap", len(patterns), s.cfg.MaxPatterns)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+
+	tasks := make([]*task, len(patterns))
+	for i, p := range patterns {
+		t := newTask(ctx, p)
+		if err := s.pool.submit(t); err != nil {
+			cancel() // already-queued siblings are skipped by the workers
+			if errors.Is(err, ErrQueueFull) {
+				writeBackpressure(w, err)
+			} else {
+				writeError(w, http.StatusServiceUnavailable, "%v", err)
+			}
+			return
+		}
+		tasks[i] = t
+	}
+
+	resp := detectResponse{Count: len(patterns), Labels: make([]clip.Label, len(patterns))}
+	for i, t := range tasks {
+		select {
+		case res := <-t.result:
+			if res.err != nil {
+				writeCtxError(w, res.err)
+				return
+			}
+			resp.Labels[i] = res.label
+			if res.label == clip.Hotspot {
+				resp.Hotspots++
+			}
+		case <-ctx.Done():
+			writeCtxError(w, ctx.Err())
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleScan runs the full detection pipeline (clip extraction,
+// multi-kernel evaluation, feedback, removal) over a posted layout window.
+// Scans are heavyweight, so they bypass the clip queue and are instead
+// bounded by their own concurrency limit.
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	select {
+	case s.scanSem <- struct{}{}:
+		defer func() { <-s.scanSem }()
+	default:
+		writeBackpressure(w, fmt.Errorf("server: scan concurrency limit (%d) reached", s.cfg.ScanConcurrency))
+		return
+	}
+
+	var req scanRequest
+	if err := json.NewDecoder(s.body(r)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding scan request: %v", err)
+		return
+	}
+	if len(req.Rects) == 0 {
+		writeError(w, http.StatusBadRequest, "empty layout: no rects")
+		return
+	}
+	det := s.detector()
+	lay := det.Config().Layer
+	if req.Layer != nil {
+		lay = *req.Layer
+	}
+	name := req.Name
+	if name == "" {
+		name = "scan"
+	}
+	l := layout.New(name)
+	for _, v := range req.Rects {
+		l.AddRect(lay, geom.Rect{X0: v[0], Y0: v[1], X1: v[2], Y1: v[3]})
+	}
+	if l.NumRects() == 0 {
+		writeError(w, http.StatusBadRequest, "empty layout: all rects degenerate")
+		return
+	}
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	rep, err := det.DetectContext(ctx, l)
+	if err != nil {
+		writeCtxError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, scanResponse{Rects: l.NumRects(), Report: rep})
+}
+
+// handleReload swaps in a freshly loaded model without dropping traffic:
+// requests in flight finish on the detector they started with.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req reloadRequest
+	if err := json.NewDecoder(s.body(r)).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "decoding reload request: %v", err)
+		return
+	}
+	path := req.Path
+	if path == "" {
+		path = s.cfg.ModelPath
+	}
+	if path == "" {
+		writeError(w, http.StatusBadRequest, "no model path: server started without -model and request names none")
+		return
+	}
+	det, err := loadModel(path)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.swap(det)
+	writeJSON(w, http.StatusOK, reloadResponse{
+		Path:    path,
+		Kernels: det.NumKernels(),
+		Reloads: s.reloads.Load(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() || s.detector() == nil {
+		writeError(w, http.StatusServiceUnavailable, "not ready")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ready",
+		"kernels": s.detector().NumKernels(),
+	})
+}

@@ -1,0 +1,32 @@
+package server
+
+import (
+	"net/http"
+	"time"
+)
+
+// statusWriter records the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a route handler with the server's HTTP metrics: total
+// and per-route request counters, status-class counters, per-route latency
+// histograms (obs.ObserveHTTP), and an in-flight gauge.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	inflight := s.reg.Gauge("http.inflight")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inflight.Add(1)
+		defer inflight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.reg.ObserveHTTP(route, sw.code, time.Since(start))
+	})
+}

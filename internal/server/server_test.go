@@ -1,0 +1,570 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hotspot/internal/clip"
+	"hotspot/internal/core"
+	"hotspot/internal/geom"
+	"hotspot/internal/iccad"
+)
+
+// The package fixture: one small benchmark and one trained detector,
+// shared by every test (training dominates the suite's runtime).
+var (
+	fixOnce  sync.Once
+	fixBench *iccad.Benchmark
+	fixDet   *core.Detector
+	fixErr   error
+)
+
+func fixture(t testing.TB) (*iccad.Benchmark, *core.Detector) {
+	t.Helper()
+	fixOnce.Do(func() {
+		fixBench = iccad.Generate(iccad.Config{
+			Name: "server_test", Process: "32nm",
+			W: 60000, H: 60000,
+			TestHS: 16, TrainHS: 30, TrainNHS: 120,
+			FillFactor: 0.5, Seed: 11, Workers: 8,
+		})
+		fixDet, fixErr = core.Train(fixBench.Train, core.DefaultConfig())
+	})
+	if fixErr != nil {
+		t.Fatalf("fixture train: %v", fixErr)
+	}
+	return fixBench, fixDet
+}
+
+// testServer builds a server around the fixture detector; classify == nil
+// uses the real model.
+func testServer(t testing.TB, classify func(*clip.Pattern) clip.Label, cfg Config) *Server {
+	t.Helper()
+	_, det := fixture(t)
+	s := newServer(det, classify, cfg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func clipSetBody(t testing.TB, patterns []*clip.Pattern) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := clip.WriteSet(&buf, patterns); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func postJSON(t testing.TB, url string, body io.Reader) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", body)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s response: %v", url, err)
+	}
+	return resp, data
+}
+
+func TestDetectEndpoint(t *testing.T) {
+	b, det := fixture(t)
+	s := testServer(t, nil, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	patterns := b.Train[:40]
+	resp, data := postJSON(t, ts.URL+"/v1/detect", clipSetBody(t, patterns))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var dr detectResponse
+	if err := json.Unmarshal(data, &dr); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if dr.Count != len(patterns) || len(dr.Labels) != len(patterns) {
+		t.Fatalf("count %d / %d labels, want %d", dr.Count, len(dr.Labels), len(patterns))
+	}
+	hotspots := 0
+	for i, p := range patterns {
+		want := det.ClassifyPattern(p)
+		if dr.Labels[i] != want {
+			t.Fatalf("pattern %d: label %v, want %v", i, dr.Labels[i], want)
+		}
+		if want == clip.Hotspot {
+			hotspots++
+		}
+	}
+	if dr.Hotspots != hotspots {
+		t.Fatalf("hotspot count %d, want %d", dr.Hotspots, hotspots)
+	}
+}
+
+// TestDetectConcurrent is the acceptance scenario: sustained concurrent
+// batch classification through the shared queue under -race.
+func TestDetectConcurrent(t *testing.T) {
+	b, _ := fixture(t)
+	s := testServer(t, nil, Config{QueueSize: 4096})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			patterns := b.Train[c*10 : c*10+10]
+			for iter := 0; iter < 3; iter++ {
+				var buf bytes.Buffer
+				if err := clip.WriteSet(&buf, patterns); err != nil {
+					errs <- err
+					return
+				}
+				resp, err := http.Post(ts.URL+"/v1/detect", "application/json", &buf)
+				if err != nil {
+					errs <- err
+					return
+				}
+				data, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("client %d: status %d: %s", c, resp.StatusCode, data)
+					return
+				}
+				var dr detectResponse
+				if err := json.Unmarshal(data, &dr); err != nil {
+					errs <- err
+					return
+				}
+				if dr.Count != len(patterns) {
+					errs <- fmt.Errorf("client %d: count %d", c, dr.Count)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestDetectRejectsBadRequests(t *testing.T) {
+	b, _ := fixture(t)
+	s := testServer(t, nil, Config{MaxPatterns: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, _ := postJSON(t, ts.URL+"/v1/detect", strings.NewReader("not json"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/detect", strings.NewReader(`{"version":1,"patterns":[]}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty set: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/detect", clipSetBody(t, b.Train[:3]))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized set: status %d, want 413", resp.StatusCode)
+	}
+	// Wrong method.
+	r, err := http.Get(ts.URL + "/v1/detect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/detect: status %d, want 405", r.StatusCode)
+	}
+}
+
+// TestDetectBackpressure saturates a one-worker, one-slot queue and
+// asserts the explicit 429 + Retry-After signal.
+func TestDetectBackpressure(t *testing.T) {
+	b, _ := fixture(t)
+	gate := make(chan struct{})
+	started := make(chan struct{}, 8)
+	classify := func(p *clip.Pattern) clip.Label {
+		started <- struct{}{}
+		<-gate
+		return clip.NonHotspot
+	}
+	s := testServer(t, classify, Config{Workers: 1, QueueSize: 1, BatchSize: 1, BatchWait: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type result struct {
+		status int
+		err    error
+	}
+	results := make(chan result, 2)
+	post := func() {
+		var buf bytes.Buffer
+		if err := clip.WriteSet(&buf, b.Train[:1]); err != nil {
+			results <- result{err: err}
+			return
+		}
+		resp, err := http.Post(ts.URL+"/v1/detect", "application/json", &buf)
+		if err != nil {
+			results <- result{err: err}
+			return
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		results <- result{status: resp.StatusCode}
+	}
+
+	go post()
+	<-started // the worker holds request A's clip
+
+	go post() // request B occupies the single queue slot
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.pool.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request B never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Request C must be rejected immediately with 429 + Retry-After.
+	resp, data := postJSON(t, ts.URL+"/v1/detect", clipSetBody(t, b.Train[:1]))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated queue: status %d (%s), want 429", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+
+	// Unblock the worker; A and B must now complete cleanly.
+	close(gate)
+	for i := 0; i < 2; i++ {
+		res := <-results
+		if res.err != nil {
+			t.Fatalf("request %d: %v", i, res.err)
+		}
+		if res.status != http.StatusOK {
+			t.Fatalf("request %d: status %d, want 200", i, res.status)
+		}
+	}
+}
+
+// TestDetectDeadline asserts per-request deadlines: a gated classifier
+// never answers, so the tightened ?timeout must fire with 504.
+func TestDetectDeadline(t *testing.T) {
+	b, _ := fixture(t)
+	gate := make(chan struct{})
+	classify := func(p *clip.Pattern) clip.Label {
+		<-gate
+		return clip.NonHotspot
+	}
+	s := testServer(t, classify, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer close(gate)
+
+	resp, data := postJSON(t, ts.URL+"/v1/detect?timeout=50ms", clipSetBody(t, b.Train[:2]))
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (%s), want 504", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), "deadline") {
+		t.Fatalf("error body %q does not name the deadline", data)
+	}
+}
+
+func TestHealthAndReadiness(t *testing.T) {
+	s := testServer(t, nil, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, ep := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", ep, resp.StatusCode)
+		}
+	}
+
+	s.Close() // draining: readiness must flip, liveness must not
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("GET /readyz after Close: status %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz after Close: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestReloadUnderLoad swaps the model repeatedly while classification
+// traffic flows — the hot-reload acceptance path under -race.
+func TestReloadUnderLoad(t *testing.T) {
+	b, det := fixture(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s := testServer(t, nil, Config{ModelPath: path, QueueSize: 4096})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			resp, data := postJSON(t, ts.URL+"/v1/reload", strings.NewReader("{}"))
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("reload %d: status %d: %s", i, resp.StatusCode, data)
+				return
+			}
+			var rr reloadResponse
+			if err := json.Unmarshal(data, &rr); err != nil {
+				errs <- err
+				return
+			}
+			if rr.Kernels != det.NumKernels() {
+				errs <- fmt.Errorf("reload %d: %d kernels, want %d", i, rr.Kernels, det.NumKernels())
+				return
+			}
+		}
+	}()
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				resp, data := postJSON(t, ts.URL+"/v1/detect", clipSetBody(t, b.Train[c*5:c*5+5]))
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("detect client %d: status %d: %s", c, resp.StatusCode, data)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if s.reloads.Load() != 5 {
+		t.Fatalf("reload count %d, want 5", s.reloads.Load())
+	}
+}
+
+func TestReloadErrors(t *testing.T) {
+	s := testServer(t, nil, Config{}) // no ModelPath
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, _ := postJSON(t, ts.URL+"/v1/reload", strings.NewReader("{}"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("reload without any path: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/reload", strings.NewReader(`{"path":"/nonexistent/model.json"}`))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("reload with bad path: status %d, want 422", resp.StatusCode)
+	}
+}
+
+func scanBody(t testing.TB, b *iccad.Benchmark) *bytes.Buffer {
+	t.Helper()
+	layer := b.Layer
+	req := scanRequest{Name: "scan_test", Layer: &layer}
+	for _, r := range b.Test.Rects(layer) {
+		req.Rects = append(req.Rects, [4]geom.Coord{r.X0, r.Y0, r.X1, r.Y1})
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(req); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestScanEndpoint(t *testing.T) {
+	b, det := fixture(t)
+	// A full-pipeline scan can outlast the default 30s request deadline
+	// when the race detector slows evaluation down; give it headroom.
+	s := testServer(t, nil, Config{RequestTimeout: 10 * time.Minute})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, data := postJSON(t, ts.URL+"/v1/scan", scanBody(t, b))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var sr scanResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatalf("decoding scan response: %v", err)
+	}
+	if sr.Rects != len(b.Test.Rects(b.Layer)) {
+		t.Fatalf("scanned %d rects, posted %d", sr.Rects, len(b.Test.Rects(b.Layer)))
+	}
+	want := det.Detect(b.Test)
+	if sr.Report.Candidates == 0 || sr.Report.Candidates != want.Candidates {
+		t.Fatalf("candidates %d, want %d", sr.Report.Candidates, want.Candidates)
+	}
+	if len(sr.Report.Hotspots) != len(want.Hotspots) {
+		t.Fatalf("hotspots %d, want %d", len(sr.Report.Hotspots), len(want.Hotspots))
+	}
+}
+
+func TestScanDeadline(t *testing.T) {
+	b, _ := fixture(t)
+	s := testServer(t, nil, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, data := postJSON(t, ts.URL+"/v1/scan?timeout=1ns", scanBody(t, b))
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (%s), want 504", resp.StatusCode, data)
+	}
+}
+
+func TestScanBackpressure(t *testing.T) {
+	b, _ := fixture(t)
+	s := testServer(t, nil, Config{ScanConcurrency: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	s.scanSem <- struct{}{} // occupy the only scan slot
+	defer func() { <-s.scanSem }()
+	resp, _ := postJSON(t, ts.URL+"/v1/scan", scanBody(t, b))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+}
+
+// TestGracefulDrain runs the real Serve lifecycle: in-flight requests
+// started before the stop signal must complete, then Serve returns nil.
+func TestGracefulDrain(t *testing.T) {
+	b, _ := fixture(t)
+	started := make(chan struct{}, 64)
+	classify := func(p *clip.Pattern) clip.Label {
+		started <- struct{}{}
+		time.Sleep(30 * time.Millisecond)
+		return clip.NonHotspot
+	}
+	s := testServer(t, classify, Config{Workers: 2, QueueSize: 64, DrainTimeout: 10 * time.Second})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	const reqs = 4
+	type result struct {
+		status int
+		err    error
+	}
+	results := make(chan result, reqs)
+	for i := 0; i < reqs; i++ {
+		go func(i int) {
+			var buf bytes.Buffer
+			if err := clip.WriteSet(&buf, b.Train[i*2:i*2+2]); err != nil {
+				results <- result{err: err}
+				return
+			}
+			resp, err := http.Post(base+"/v1/detect", "application/json", &buf)
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			results <- result{status: resp.StatusCode}
+		}(i)
+	}
+
+	// Wait until every request has work in the pool, then pull the plug.
+	for i := 0; i < reqs; i++ {
+		<-started
+	}
+	cancel()
+
+	for i := 0; i < reqs; i++ {
+		res := <-results
+		if res.err != nil {
+			t.Fatalf("in-flight request %d failed during drain: %v", i, res.err)
+		}
+		if res.status != http.StatusOK {
+			t.Fatalf("in-flight request %d: status %d, want 200", i, res.status)
+		}
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("Serve returned %v, want nil (clean drain)", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+
+	// The drained server must refuse new connections.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("drained server still accepting connections")
+	}
+}
+
+func TestDebugEndpoints(t *testing.T) {
+	s := testServer(t, nil, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, ep := range []string{"/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get(ts.URL + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", ep, resp.StatusCode)
+		}
+		if ep == "/debug/vars" && !bytes.Contains(data, []byte("hotspotd")) {
+			t.Fatalf("expvar output missing the hotspotd registry")
+		}
+	}
+}
