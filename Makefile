@@ -3,8 +3,9 @@ FUZZTIME ?= 10s
 STATICCHECK ?= staticcheck
 GOVULNCHECK ?= govulncheck
 COVERPROFILE ?= cover.out
+BENCHCOUNT ?= 5
 
-.PHONY: all build vet test test-race fuzz bench check lint cover cover-check
+.PHONY: all build vet test test-race fuzz bench bench-svm bench-svm-json check lint cover cover-check
 
 all: check
 
@@ -31,6 +32,18 @@ fuzz:
 # Observability overhead guardrails (instrumented vs uninstrumented).
 bench:
 	$(GO) test -run='^$$' -bench='Instrumented' -benchtime=1x .
+
+# SVM fast-path microbenchmarks (flat layout, batched decisions, SMO with
+# shrinking). BENCHCOUNT repetitions make the output benchstat-ready; CI
+# compares it against the committed bench-svm-baseline.txt.
+bench-svm:
+	$(GO) test -run='^$$' -bench='BenchmarkSMOSolve|BenchmarkDecisionBatch' \
+		-count=$(BENCHCOUNT) ./internal/svm/
+
+# Regenerate BENCH_svm.json (the repo-root before/after numbers quoted in
+# README.md; see EXPERIMENTS.md).
+bench-svm-json:
+	HOTSPOT_BENCH_JSON=1 $(GO) test -run TestWriteBenchSVMJSON -count=1 ./internal/svm/
 
 # Static analysis beyond vet. CI installs the two tools; locally:
 #   go install honnef.co/go/tools/cmd/staticcheck@latest

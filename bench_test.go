@@ -292,3 +292,28 @@ func BenchmarkAblationFeedback(b *testing.B) {
 		runAblation(b, "feedback=off", cfg)
 	})
 }
+
+// BenchmarkClassifyBatch compares per-clip ClassifyPattern calls against
+// the batched ClassifyBatch path (flat SVM layout, one DecisionBatch per
+// kernel) over the ablation benchmark's training patterns.
+func BenchmarkClassifyBatch(b *testing.B) {
+	bench := ablationBench()
+	det, err := core.Train(bench.Train, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, p := range bench.Train {
+				det.ClassifyPattern(p)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			det.ClassifyBatch(bench.Train)
+		}
+	})
+}

@@ -284,7 +284,7 @@ func WindowScanCount(bounds geom.Rect, spec Spec, overlap float64) int {
 	if nx < 1 {
 		nx = 1
 	}
-	ny = maxInt(ny, 1)
+	ny = max(ny, 1)
 	return nx * ny
 }
 
@@ -301,11 +301,4 @@ func WindowScan(bounds geom.Rect, spec Spec, overlap float64) []Candidate {
 		}
 	}
 	return out
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

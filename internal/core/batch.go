@@ -1,0 +1,290 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hotspot/internal/clip"
+	"hotspot/internal/features"
+	"hotspot/internal/topo"
+)
+
+// detectChunk bounds how many candidate clips DetectContext materializes
+// and batch-evaluates at once: large enough to amortize the batched SVM
+// path and fan out across workers, small enough to keep memory flat and
+// cancellation responsive on full-chip scans.
+const detectChunk = 256
+
+// batchVerdict is one clip's multiple-kernel outcome from evalBatch; it
+// mirrors multiKernelEval's returns so the batched and scalar evaluation
+// paths report identical flags, kernel indices, confidences, and kernel
+// evaluation counts.
+type batchVerdict struct {
+	flagged bool
+	kidx    int
+	conf    float64
+	evals   int
+}
+
+// parallelFor runs f(0..n-1) across up to `workers` goroutines. With one
+// worker (the ours_nopara mode) it degrades to a plain loop.
+func parallelFor(n, workers int, f func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// evalBatch is the batched counterpart of multiKernelEval: features are
+// extracted once per clip (in parallel), then every kernel evaluates the
+// whole batch through svm.Model.DecisionBatch instead of one clip at a
+// time. Because the batched decision is bit-for-bit equal to the scalar
+// one, each verdict matches what multiKernelEval would have returned for
+// that clip — including the flagging-kernel index (first in scalar order)
+// and the kernel-evaluation count.
+func (d *Detector) evalBatch(ps []*clip.Pattern, cfg Config) []batchVerdict {
+	n := len(ps)
+	vs := make([]batchVerdict, n)
+	for i := range vs {
+		vs[i].kidx = -1
+	}
+	if n == 0 || len(d.kernels) == 0 {
+		return vs
+	}
+
+	exs := make([]features.Extracted, n)
+	parallelFor(n, cfg.Workers, func(i int) {
+		exs[i] = features.ExtractAll(ps[i].CoreRects(), ps[i].Core)
+	})
+
+	if len(d.kernels) == 1 && d.kernels[0].key == "" {
+		// Basic single kernel: no routing, the flag decision doubles as
+		// the confidence.
+		k := d.kernels[0]
+		rows := make([][]float64, n)
+		parallelFor(n, cfg.Workers, func(i int) {
+			rows[i] = k.scaler.Apply(features.VectorDirectFrom(exs[i], cfg.BasicSlots))
+		})
+		dec := k.model.DecisionBatch(rows)
+		for i := range vs {
+			vs[i].evals = 1
+			if dec[i] >= cfg.Bias {
+				vs[i].flagged = true
+				vs[i].kidx = 0
+				vs[i].evals = 2 // flag pass + confidence pass
+				if dec[i] > 0 {
+					vs[i].conf = dec[i]
+				}
+			}
+		}
+		return vs
+	}
+
+	if cfg.RouteK > 0 {
+		d.evalBatchRouted(ps, exs, vs, cfg)
+	} else {
+		d.evalBatchAllKernels(exs, vs, cfg)
+	}
+	return vs
+}
+
+// evalBatchAllKernels evaluates every kernel over the whole batch
+// (kernel-major, one DecisionBatch per kernel) and derives each clip's
+// flag, flagging-kernel index, and confidence from the full decision
+// matrix. The evals accounting reproduces the scalar path: ki+1 flag
+// decisions plus a |kernels| confidence pass for flagged clips, |kernels|
+// for clean ones.
+func (d *Detector) evalBatchAllKernels(exs []features.Extracted, vs []batchVerdict, cfg Config) {
+	n := len(exs)
+	decs := make([][]float64, len(d.kernels))
+	for ki, k := range d.kernels {
+		rows := make([][]float64, n)
+		parallelFor(n, cfg.Workers, func(i int) {
+			rows[i] = k.scaler.Apply(k.extractor.VectorFrom(exs[i]))
+		})
+		decs[ki] = k.model.DecisionBatch(rows)
+	}
+	for i := range vs {
+		vs[i].evals = len(d.kernels)
+		for ki := range d.kernels {
+			if decs[ki][i] >= cfg.Bias {
+				vs[i].flagged = true
+				vs[i].kidx = ki
+				vs[i].evals = ki + 1 + len(d.kernels)
+				break
+			}
+		}
+		if !vs[i].flagged {
+			continue
+		}
+		best := 0.0
+		for ki := range d.kernels {
+			if v := decs[ki][i]; v > best {
+				best = v
+			}
+		}
+		vs[i].conf = best
+	}
+}
+
+// evalBatchRouted evaluates RouteK-routed clips in routing-position waves:
+// at step t every still-unflagged clip whose route has a t-th kernel is
+// grouped by that kernel, and each group is one DecisionBatch. The walk
+// stops per clip at its first flagging kernel, so the verdicts (and the
+// per-clip evaluation counts) match the scalar routed loop exactly; a
+// final batched pass over all kernels computes the flagged clips'
+// confidences, as multiKernelEval does.
+func (d *Detector) evalBatchRouted(ps []*clip.Pattern, exs []features.Extracted, vs []batchVerdict, cfg Config) {
+	n := len(ps)
+	routes := make([][]int, n)
+	parallelFor(n, cfg.Workers, func(i int) {
+		key := topo.CanonicalKey(ps[i].CoreRects(), ps[i].Core)
+		routes[i] = routedKernels(d.kernels, key, ps[i], cfg)
+	})
+
+	alive := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		alive = append(alive, i)
+	}
+	for step := 0; len(alive) > 0; step++ {
+		groups := map[int][]int{}
+		live := alive[:0]
+		for _, i := range alive {
+			if step < len(routes[i]) {
+				groups[routes[i][step]] = append(groups[routes[i][step]], i)
+			}
+		}
+		if len(groups) == 0 {
+			break
+		}
+		kis := make([]int, 0, len(groups))
+		for ki := range groups {
+			kis = append(kis, ki)
+		}
+		sort.Ints(kis)
+		for _, ki := range kis {
+			k := d.kernels[ki]
+			idxs := groups[ki]
+			rows := make([][]float64, len(idxs))
+			for t, i := range idxs {
+				rows[t] = k.scaler.Apply(k.extractor.VectorFrom(exs[i]))
+			}
+			dec := k.model.DecisionBatch(rows)
+			for t, i := range idxs {
+				vs[i].evals++
+				if dec[t] >= cfg.Bias {
+					vs[i].flagged = true
+					vs[i].kidx = ki
+				} else {
+					live = append(live, i)
+				}
+			}
+		}
+		sort.Ints(live) // keep wave grouping deterministic
+		alive = live
+	}
+
+	var flagged []int
+	for i := range vs {
+		if vs[i].flagged {
+			flagged = append(flagged, i)
+		}
+	}
+	if len(flagged) == 0 {
+		return
+	}
+	best := make([]float64, len(flagged))
+	for _, k := range d.kernels {
+		rows := make([][]float64, len(flagged))
+		for t, i := range flagged {
+			rows[t] = k.scaler.Apply(k.extractor.VectorFrom(exs[i]))
+		}
+		dec := k.model.DecisionBatch(rows)
+		for t := range flagged {
+			if dec[t] > best[t] {
+				best[t] = dec[t]
+			}
+		}
+	}
+	for t, i := range flagged {
+		vs[i].conf = best[t]
+		vs[i].evals += len(d.kernels)
+	}
+}
+
+// feedbackBatch applies the feedback kernel to a batch's flagged clips in
+// one DecisionBatch, honouring the same gates as feedbackReclaims:
+// confidently flagged clips (conf >= FeedbackOverride, when the override
+// is armed) are never reclaimed, and a reclaim requires the feedback
+// decision clearly on the nonhotspot side (below -FeedbackMargin).
+func (d *Detector) feedbackBatch(ps []*clip.Pattern, vs []batchVerdict, cfg Config) []bool {
+	reclaimed := make([]bool, len(ps))
+	if d.feedback == nil {
+		return reclaimed
+	}
+	var idxs []int
+	for i := range vs {
+		if !vs[i].flagged {
+			continue
+		}
+		if vs[i].conf >= cfg.FeedbackOverride && cfg.FeedbackOverride > 0 {
+			continue
+		}
+		idxs = append(idxs, i)
+	}
+	if len(idxs) == 0 {
+		return reclaimed
+	}
+	rows := make([][]float64, len(idxs))
+	parallelFor(len(idxs), cfg.Workers, func(t int) {
+		rows[t] = d.feedback.scaler.Apply(d.feedback.vector(ps[idxs[t]]))
+	})
+	dec := d.feedback.model.DecisionBatch(rows)
+	for t, i := range idxs {
+		if dec[t] < -cfg.FeedbackMargin {
+			reclaimed[i] = true
+		}
+	}
+	return reclaimed
+}
+
+// ClassifyBatch evaluates many standalone clips at once — the batched
+// counterpart of calling ClassifyPattern per clip, with identical labels.
+// One configuration snapshot covers the whole batch; the SVM work runs
+// through the flat batched decision path. Safe for concurrent use.
+func (d *Detector) ClassifyBatch(ps []*clip.Pattern) []clip.Label {
+	cfg := d.config()
+	vs := d.evalBatch(ps, cfg)
+	reclaimed := d.feedbackBatch(ps, vs, cfg)
+	out := make([]clip.Label, len(ps))
+	for i := range out {
+		if vs[i].flagged && !reclaimed[i] {
+			out[i] = clip.Hotspot
+		} else {
+			out[i] = clip.NonHotspot
+		}
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"hotspot/internal/clip"
+)
+
+// TestClassifyBatchMatchesScalar pins the batched evaluation path to the
+// per-clip one: over the whole training set (hotspots, nonhotspots, and
+// their shifted derivatives), ClassifyBatch must produce exactly the
+// labels a ClassifyPattern loop does. Because DecisionBatch is bit-for-bit
+// equal to scalar Decision, any divergence here is a routing/feedback
+// bookkeeping bug, not numerics.
+func TestClassifyBatchMatchesScalar(t *testing.T) {
+	b := testBenchmark()
+	for name, cfg := range map[string]Config{
+		"default": DefaultConfig(),
+		"routed": func() Config {
+			c := DefaultConfig()
+			c.RouteK = 2
+			return c
+		}(),
+		"basic": func() Config {
+			c := DefaultConfig()
+			c.EnableTopo = false
+			c.EnableFeedback = false
+			return c
+		}(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			d := trainedDetector(t, cfg)
+			ps := make([]*clip.Pattern, 0, 2*len(b.Train))
+			for _, p := range b.Train {
+				ps = append(ps, p, p.Shifted(40, -25, nil))
+			}
+			got := d.ClassifyBatch(ps)
+			if len(got) != len(ps) {
+				t.Fatalf("ClassifyBatch returned %d labels for %d clips", len(got), len(ps))
+			}
+			for i, p := range ps {
+				if want := d.ClassifyPattern(p); got[i] != want {
+					t.Fatalf("%s: clip %d: batch %v, scalar %v", name, i, got[i], want)
+				}
+			}
+		})
+	}
+}
+
+// TestClassifyBatchEmpty covers the zero-clip and no-kernel edges.
+func TestClassifyBatchEmpty(t *testing.T) {
+	d := trainedDetector(t, DefaultConfig())
+	if out := d.ClassifyBatch(nil); len(out) != 0 {
+		t.Fatalf("nil batch: %v", out)
+	}
+	var empty Detector
+	out := empty.ClassifyBatch([]*clip.Pattern{b0(t)})
+	if len(out) != 1 || out[0] != clip.NonHotspot {
+		t.Fatalf("kernel-less detector: %v", out)
+	}
+}
+
+func b0(t *testing.T) *clip.Pattern {
+	t.Helper()
+	return testBenchmark().Train[0]
+}

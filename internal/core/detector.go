@@ -196,7 +196,7 @@ func Train(train []*clip.Pattern, cfg Config) (*Detector, error) {
 	iters := make([]int, len(hsClusters))
 	errs := make([]error, len(hsClusters))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxInt(cfg.Workers, 1))
+	sem := make(chan struct{}, max(cfg.Workers, 1))
 	for ci, cluster := range hsClusters {
 		wg.Add(1)
 		go func(ci int, cluster topo.Cluster) {
@@ -433,11 +433,14 @@ func iterativeTrain(rows [][]float64, labels []int, cfg Config, weightPos float6
 func (d *Detector) trainFeedback(nonhotspots []*clip.Pattern, cfg Config, onRound func(int, int, float64, float64, float64)) {
 	var extras []*clip.Pattern
 	contributing := map[int]bool{}
-	for _, p := range nonhotspots {
-		hit, kidx, _ := d.multiKernelFlag(p, cfg)
-		if hit {
-			extras = append(extras, p)
-			contributing[kidx] = true
+	for lo := 0; lo < len(nonhotspots); lo += detectChunk {
+		hi := min(lo+detectChunk, len(nonhotspots))
+		chunk := nonhotspots[lo:hi]
+		for i, v := range d.evalBatch(chunk, cfg) {
+			if v.flagged {
+				extras = append(extras, chunk[i])
+				contributing[v.kidx] = true
+			}
 		}
 	}
 	d.stats.FeedbackExtras = len(extras)
@@ -485,11 +488,4 @@ func (d *Detector) trainFeedback(nonhotspots []*clip.Pattern, cfg Config, onRoun
 	}
 	fb.model = model
 	d.feedback = fb
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"sort"
-	"sync"
 	"time"
 
 	"hotspot/internal/clip"
@@ -47,12 +46,14 @@ func (d *Detector) Detect(l *layout.Layout) Report {
 }
 
 // DetectContext is Detect with cooperative cancellation: the context's
-// deadline or cancellation is checked between pipeline stages and before
-// every candidate-clip evaluation, so a long full-chip scan stops within
-// one clip's evaluation of the deadline. On cancellation the partial
-// report accumulated so far is returned together with the context's error;
-// callers must treat a non-nil error as "incomplete" regardless of the
-// report's contents. The concurrency guarantees of Detect apply.
+// deadline or cancellation is checked between pipeline stages and between
+// evaluation chunks (candidate clips are batched detectChunk at a time
+// through the flat SVM decision path), so a long full-chip scan stops
+// within one chunk's evaluation of the deadline. On cancellation the
+// partial report accumulated so far is returned together with the
+// context's error; callers must treat a non-nil error as "incomplete"
+// regardless of the report's contents. The concurrency guarantees of
+// Detect apply.
 func (d *Detector) DetectContext(ctx context.Context, l *layout.Layout) (Report, error) {
 	start := time.Now()
 	cfg := d.config()
@@ -70,69 +71,38 @@ func (d *Detector) DetectContext(ctx context.Context, l *layout.Layout) (Report,
 		return rep, err
 	}
 
-	type verdict struct {
-		core      geom.Rect
-		flagged   bool
-		reclaimed bool
-		evals     int
-	}
 	sp = obs.Begin(tel, cfg.Obs, "detect.evaluate")
-	verdicts := make([]verdict, len(cands))
-	eval := func(i int) {
-		if ctx.Err() != nil {
-			return
-		}
-		p := clip.FromLayout(l, cfg.Layer, cfg.Spec, cands[i].At, 0)
-		v := &verdicts[i]
-		v.core = p.Core
-		hit, _, conf, evals := d.multiKernelEval(p, cfg)
-		v.evals = evals
-		if !hit {
-			return
-		}
-		v.flagged = true
-		if d.feedbackReclaims(p, conf, cfg) {
-			v.reclaimed = true
-		}
-	}
-	if cfg.Workers > 1 {
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, cfg.Workers)
-		for i := range cands {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				eval(i)
-			}(i)
-		}
-		wg.Wait()
-	} else {
-		for i := range cands {
-			eval(i)
-		}
-	}
-	if err := ctx.Err(); err != nil {
-		sp.End()
-		cfg.Obs.Counter("detect.cancelled").Inc()
-		rep.Runtime = time.Since(start)
-		return rep, err
-	}
-
 	var cores []geom.Rect
 	kernelEvals := int64(0)
-	for _, v := range verdicts {
-		kernelEvals += int64(v.evals)
-		if !v.flagged {
-			continue
+	for lo := 0; lo < len(cands); lo += detectChunk {
+		if err := ctx.Err(); err != nil {
+			sp.End()
+			cfg.Obs.Counter("detect.cancelled").Inc()
+			rep.Runtime = time.Since(start)
+			return rep, err
 		}
-		rep.Flagged++
-		if v.reclaimed {
-			rep.Reclaimed++
-			continue
+		hi := lo + detectChunk
+		if hi > len(cands) {
+			hi = len(cands)
 		}
-		cores = append(cores, v.core)
+		ps := make([]*clip.Pattern, hi-lo)
+		parallelFor(len(ps), cfg.Workers, func(i int) {
+			ps[i] = clip.FromLayout(l, cfg.Layer, cfg.Spec, cands[lo+i].At, 0)
+		})
+		vs := d.evalBatch(ps, cfg)
+		reclaimed := d.feedbackBatch(ps, vs, cfg)
+		for i := range vs {
+			kernelEvals += int64(vs[i].evals)
+			if !vs[i].flagged {
+				continue
+			}
+			rep.Flagged++
+			if reclaimed[i] {
+				rep.Reclaimed++
+				continue
+			}
+			cores = append(cores, ps[i].Core)
+		}
 	}
 	sp.AddItems(int64(len(cands)))
 	sp.End()

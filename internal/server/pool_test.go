@@ -20,7 +20,7 @@ func testPattern(label clip.Label) *clip.Pattern {
 
 func TestPoolProcessesAll(t *testing.T) {
 	reg := obs.NewRegistry()
-	p := newPool(4, 64, 8, time.Millisecond, echoClassify, reg)
+	p := newPool(4, 64, 8, time.Millisecond, echoClassify, nil, reg)
 	defer p.shutdown()
 
 	const n = 50
@@ -62,7 +62,7 @@ func TestPoolQueueFullRejects(t *testing.T) {
 		return clip.NonHotspot
 	}
 	reg := obs.NewRegistry()
-	p := newPool(1, 2, 1, 0, classify, reg)
+	p := newPool(1, 2, 1, 0, classify, nil, reg)
 	defer p.shutdown()
 	defer close(gate)
 
@@ -92,7 +92,7 @@ func TestPoolQueueFullRejects(t *testing.T) {
 }
 
 func TestPoolSkipsCancelledTasks(t *testing.T) {
-	p := newPool(1, 8, 4, 0, echoClassify, nil)
+	p := newPool(1, 8, 4, 0, echoClassify, nil, nil)
 	defer p.shutdown()
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -118,7 +118,7 @@ func TestPoolShutdownDrainsQueue(t *testing.T) {
 		<-gate
 		return clip.NonHotspot
 	}
-	p := newPool(1, 16, 1, 0, classify, nil)
+	p := newPool(1, 16, 1, 0, classify, nil, nil)
 
 	tasks := make([]*task, 5)
 	for i := range tasks {

@@ -168,12 +168,18 @@ func newServer(det *core.Detector, classify func(*clip.Pattern) clip.Label, cfg 
 		scanSem: make(chan struct{}, cfg.ScanConcurrency),
 	}
 	det.SetObs(s.reg)
+	var classifyBatch func([]*clip.Pattern) []clip.Label
 	if classify == nil {
 		classify = func(p *clip.Pattern) clip.Label {
 			return s.detector().ClassifyPattern(p)
 		}
+		// Coalesced multi-clip batches go through the detector's batched
+		// SVM path; an injected classify (tests) keeps the per-clip path.
+		classifyBatch = func(ps []*clip.Pattern) []clip.Label {
+			return s.detector().ClassifyBatch(ps)
+		}
 	}
-	s.pool = newPool(cfg.Workers, cfg.QueueSize, cfg.BatchSize, cfg.BatchWait, classify, s.reg)
+	s.pool = newPool(cfg.Workers, cfg.QueueSize, cfg.BatchSize, cfg.BatchWait, classify, classifyBatch, s.reg)
 	s.reg.PublishExpvar("hotspotd")
 	s.ready.Store(true)
 	return s

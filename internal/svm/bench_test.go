@@ -1,0 +1,168 @@
+package svm
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// Benchmark fixtures: a mid-sized RBF model (256 SVs x 40 dims, the shape
+// of a busy per-cluster kernel) and gaussian two-blob training sets.
+
+func benchModel() (*Model, *rand.Rand) {
+	rng := rand.New(rand.NewSource(17))
+	return randModel(rng, 256, 40), rng
+}
+
+func benchTrainSet(rng *rand.Rand, n, dim int) ([][]float64, []int) {
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		x[i] = make([]float64, dim)
+		label := -1
+		shift := 0.0
+		if i%2 == 0 {
+			label = +1
+			shift = 1.5 // overlapping blobs: keeps the SMO working
+		}
+		for j := range x[i] {
+			x[i][j] = rng.NormFloat64() + shift
+		}
+		y[i] = label
+	}
+	return x, y
+}
+
+// legacyDecision reproduces the pre-flat scalar path — nested [][]float64
+// rows with the full squared distance recomputed per support vector — as
+// the before/after reference for BENCH_svm.json and the README numbers.
+func legacyDecision(m *Model, x []float64) float64 {
+	var sum float64
+	for i, sv := range m.SVs {
+		var d2 float64
+		for j := range sv {
+			d := sv[j] - x[j]
+			d2 += d * d
+		}
+		sum += m.Coef[i] * math.Exp(-m.Gamma*d2)
+	}
+	return sum - m.Rho
+}
+
+// BenchmarkDecisionBatch compares, per batch size, the batched evaluator
+// against a loop of scalar Decision calls and against the legacy nested
+// per-pair-distance loop this PR replaced.
+func BenchmarkDecisionBatch(b *testing.B) {
+	m, rng := benchModel()
+	for _, bs := range []int{1, 64, 256} {
+		xs := randRows(rng, bs, 40)
+		b.Run(fmt.Sprintf("batch/rows=%d", bs), func(b *testing.B) {
+			b.ReportAllocs()
+			out := make([]float64, bs)
+			for i := 0; i < b.N; i++ {
+				m.DecisionBatchInto(xs, out)
+			}
+		})
+		b.Run(fmt.Sprintf("scalar/rows=%d", bs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, x := range xs {
+					m.Decision(x)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("legacy/rows=%d", bs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, x := range xs {
+					legacyDecision(m, x)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSMOSolve measures one full SMO solve (flat kernel rows, LRU
+// cache, shrinking) at two problem sizes.
+func BenchmarkSMOSolve(b *testing.B) {
+	for _, n := range []int{200, 800} {
+		rng := rand.New(rand.NewSource(23))
+		x, y := benchTrainSet(rng, n, 20)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Train(x, y, Params{C: 10, Gamma: 0.05}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestWriteBenchSVMJSON regenerates BENCH_svm.json at the repo root when
+// HOTSPOT_BENCH_JSON is set (see `make bench-svm-json` and EXPERIMENTS.md).
+// It measures the batched evaluator against the scalar loop and the legacy
+// nested layout, plus one SMO solve, via testing.Benchmark.
+func TestWriteBenchSVMJSON(t *testing.T) {
+	if os.Getenv("HOTSPOT_BENCH_JSON") == "" {
+		t.Skip("set HOTSPOT_BENCH_JSON=1 to (re)write BENCH_svm.json")
+	}
+	m, rng := benchModel()
+	const rows = 256
+	xs := randRows(rng, rows, 40)
+
+	nsPerOp := func(f func()) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f()
+			}
+		})
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	out := make([]float64, rows)
+	batchNs := nsPerOp(func() { m.DecisionBatchInto(xs, out) })
+	scalarNs := nsPerOp(func() {
+		for _, x := range xs {
+			m.Decision(x)
+		}
+	})
+	legacyNs := nsPerOp(func() {
+		for _, x := range xs {
+			legacyDecision(m, x)
+		}
+	})
+	trainX, trainY := benchTrainSet(rand.New(rand.NewSource(23)), 800, 20)
+	smoNs := nsPerOp(func() {
+		if _, err := Train(trainX, trainY, Params{C: 10, Gamma: 0.05}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	doc := map[string]any{
+		"generated_by": "make bench-svm-json (internal/svm TestWriteBenchSVMJSON)",
+		"gomaxprocs":   runtime.GOMAXPROCS(0),
+		"model":        map[string]int{"support_vectors": 256, "dim": 40},
+		"decision_ns_per_batch": map[string]float64{
+			"rows":              rows,
+			"batch":             batchNs,
+			"scalar_loop":       scalarNs,
+			"legacy_nested_svs": legacyNs,
+		},
+		"speedup_batch_vs_scalar": scalarNs / batchNs,
+		"speedup_batch_vs_legacy": legacyNs / batchNs,
+		"smo_solve_ns":            map[string]float64{"n800_dim20": smoNs},
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_svm.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("batch %.0fns scalar %.0fns legacy %.0fns (x%.2f vs scalar, x%.2f vs legacy)",
+		batchNs, scalarNs, legacyNs, scalarNs/batchNs, legacyNs/batchNs)
+}

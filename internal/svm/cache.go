@@ -1,0 +1,125 @@
+package svm
+
+import (
+	"math"
+
+	"hotspot/internal/obs"
+)
+
+// DefaultCacheBytes is the kernel-row cache budget used when
+// Params.CacheBytes is unset: 64 MiB, enough to hold every row of a
+// 2048-point problem (LIBSVM's historical full-matrix regime) while
+// bounding memory on larger ones.
+const DefaultCacheBytes = 64 << 20
+
+// kernelCache serves kernel matrix rows on demand, keeping the most
+// recently used rows within a byte budget. Rows are computed from the flat
+// training matrix with cached norms (one dot product per entry). Eviction
+// unlinks the least recently used row so its backing array is collectable
+// — unlike the previous FIFO, whose order-queue re-slicing retained every
+// evicted row's backing memory for the life of the solver.
+type kernelCache struct {
+	flat  []float64
+	norms []float64
+	n     int
+	dim   int
+	gamma float64
+
+	rows       map[int]*cacheRow
+	head, tail *cacheRow // LRU list; head is most recently used
+	bytes      int       // bytes held by cached rows
+	budget     int       // byte budget (>= one row)
+
+	// misses counts row computations (nil-safe; nil when obs is off).
+	misses *obs.Counter
+}
+
+type cacheRow struct {
+	idx        int
+	k          []float64
+	prev, next *cacheRow
+}
+
+func newKernelCache(flat, norms []float64, n, dim int, gamma float64, budget int, misses *obs.Counter) *kernelCache {
+	if budget <= 0 {
+		budget = DefaultCacheBytes
+	}
+	rowBytes := 8 * n
+	if budget < 2*rowBytes {
+		// The SMO pair update holds two rows at once; never thrash below
+		// that.
+		budget = 2 * rowBytes
+	}
+	return &kernelCache{
+		flat: flat, norms: norms, n: n, dim: dim, gamma: gamma,
+		rows:   make(map[int]*cacheRow),
+		budget: budget,
+		misses: misses,
+	}
+}
+
+// row returns kernel row i (k(x_i, x_j) for all j), computing and caching
+// it on first use. The returned slice stays valid after later evictions
+// (eviction drops references; buffers are never recycled).
+func (c *kernelCache) row(i int) []float64 {
+	if r, ok := c.rows[i]; ok {
+		c.touch(r)
+		return r.k
+	}
+	c.misses.Inc()
+	r := &cacheRow{idx: i, k: make([]float64, c.n)}
+	xi := c.flat[i*c.dim : (i+1)*c.dim]
+	ni := c.norms[i]
+	for j := 0; j < c.n; j++ {
+		xj := c.flat[j*c.dim : (j+1)*c.dim]
+		r.k[j] = math.Exp(-c.gamma * kernelArg(ni, c.norms[j], dot(xi, xj)))
+	}
+	c.bytes += 8 * c.n
+	for c.bytes > c.budget && c.tail != nil {
+		c.evict(c.tail)
+	}
+	c.rows[i] = r
+	c.pushFront(r)
+	return r.k
+}
+
+func (c *kernelCache) touch(r *cacheRow) {
+	if c.head == r {
+		return
+	}
+	c.unlink(r)
+	c.pushFront(r)
+}
+
+func (c *kernelCache) pushFront(r *cacheRow) {
+	r.prev = nil
+	r.next = c.head
+	if c.head != nil {
+		c.head.prev = r
+	}
+	c.head = r
+	if c.tail == nil {
+		c.tail = r
+	}
+}
+
+func (c *kernelCache) unlink(r *cacheRow) {
+	if r.prev != nil {
+		r.prev.next = r.next
+	} else {
+		c.head = r.next
+	}
+	if r.next != nil {
+		r.next.prev = r.prev
+	} else {
+		c.tail = r.prev
+	}
+	r.prev, r.next = nil, nil
+}
+
+func (c *kernelCache) evict(r *cacheRow) {
+	c.unlink(r)
+	delete(c.rows, r.idx)
+	c.bytes -= 8 * c.n
+	r.k = nil
+}

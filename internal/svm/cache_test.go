@@ -1,0 +1,110 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hotspot/internal/obs"
+)
+
+func testCache(n, budgetRows int, misses *obs.Counter) *kernelCache {
+	x := make([][]float64, n)
+	for i := range x {
+		x[i] = []float64{float64(i), float64(i % 7)}
+	}
+	flat, norms, dim := flatten(x)
+	return newKernelCache(flat, norms, n, dim, 0.05, budgetRows*8*n, misses)
+}
+
+// TestKernelCacheEvictionFreesRows is the regression test for the old FIFO
+// cache, whose `order = order[1:]` re-slice retained every evicted row's
+// backing array for the life of the solver. The LRU must keep both its row
+// count and its accounted bytes within budget, and evicted rows must be
+// dropped from the map (making their buffers collectable).
+func TestKernelCacheEvictionFreesRows(t *testing.T) {
+	const n, budgetRows = 64, 3
+	c := testCache(n, budgetRows, nil)
+	for i := 0; i < 32; i++ {
+		c.row(i)
+		if len(c.rows) > budgetRows {
+			t.Fatalf("after row(%d): %d rows cached, budget is %d", i, len(c.rows), budgetRows)
+		}
+		if c.bytes > c.budget {
+			t.Fatalf("after row(%d): %d bytes accounted, budget %d", i, c.bytes, c.budget)
+		}
+	}
+	// The linked list must agree with the map (no unlinked leftovers).
+	count := 0
+	for r := c.head; r != nil; r = r.next {
+		if _, ok := c.rows[r.idx]; !ok {
+			t.Fatalf("row %d linked but not mapped", r.idx)
+		}
+		count++
+	}
+	if count != len(c.rows) {
+		t.Fatalf("list has %d rows, map has %d", count, len(c.rows))
+	}
+}
+
+// TestKernelCacheLRUOrder pins least-recently-used (not FIFO) eviction:
+// touching an old row protects it.
+func TestKernelCacheLRUOrder(t *testing.T) {
+	reg := obs.NewRegistry()
+	misses := reg.Counter("misses")
+	c := testCache(64, 3, misses)
+	c.row(0)
+	c.row(1)
+	c.row(2)
+	c.row(0)                    // refresh 0: LRU order is now 1, 2, 0
+	c.row(3)                    // evicts 1
+	if _, ok := c.rows[1]; ok { // FIFO would have evicted 0 instead
+		t.Fatal("row 1 should have been evicted (LRU)")
+	}
+	if _, ok := c.rows[0]; !ok {
+		t.Fatal("row 0 was refreshed and must survive eviction")
+	}
+	before := misses.Value()
+	c.row(0) // still cached: no miss
+	if misses.Value() != before {
+		t.Fatal("cached row recounted as a miss")
+	}
+	c.row(1) // evicted: recomputed
+	if misses.Value() != before+1 {
+		t.Fatalf("evicted row must recompute: misses %d -> %d", before, misses.Value())
+	}
+}
+
+// TestKernelCacheRowValues checks cached-norm rows against the direct
+// squared-distance formula, and that the diagonal is exactly 1.
+func TestKernelCacheRowValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n, dim = 40, 7
+	x := make([][]float64, n)
+	for i := range x {
+		x[i] = make([]float64, dim)
+		for j := range x[i] {
+			x[i][j] = rng.NormFloat64()
+		}
+	}
+	flat, norms, d := flatten(x)
+	const gamma = 0.3
+	c := newKernelCache(flat, norms, n, d, gamma, 0, nil)
+	for i := 0; i < n; i += 7 {
+		row := c.row(i)
+		if row[i] != 1 {
+			t.Fatalf("k(%d,%d) = %v, want exactly 1", i, i, row[i])
+		}
+		for j := 0; j < n; j++ {
+			var d2 float64
+			for k := 0; k < dim; k++ {
+				diff := x[i][k] - x[j][k]
+				d2 += diff * diff
+			}
+			want := math.Exp(-gamma * d2)
+			if diff := math.Abs(row[j] - want); diff > 1e-12*math.Max(1, want) {
+				t.Fatalf("k(%d,%d) = %v, want %v (diff %v)", i, j, row[j], want, diff)
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package svm
+
+// Flat-vector kernel primitives. Training rows and support vectors are
+// stored in a single contiguous []float64 with stride dim, and per-row
+// squared norms are precomputed once, so the RBF evaluates as
+//
+//	k(x_i, x_j) = exp(-gamma * (n_i + n_j - 2 * <x_i, x_j>))
+//
+// turning the hot inner loop into a pure dot product over contiguous
+// memory instead of a strided subtract-square-accumulate over [][]float64
+// rows. Every decision path (scalar, batch, solver, cache) funnels through
+// dot and kernelArg so results are bit-identical across paths.
+
+// flatten packs rows into one contiguous backing array with stride dim
+// (the length of the first row; shorter rows are zero-padded, longer rows
+// truncated) and returns the per-row squared norms.
+func flatten(rows [][]float64) (flat, norms []float64, dim int) {
+	if len(rows) == 0 {
+		return nil, nil, 0
+	}
+	dim = len(rows[0])
+	flat = make([]float64, len(rows)*dim)
+	norms = make([]float64, len(rows))
+	for i, row := range rows {
+		dst := flat[i*dim : (i+1)*dim]
+		copy(dst, row)
+		norms[i] = dot(dst, dst)
+	}
+	return flat, norms, dim
+}
+
+// dot is the shared inner product. The 4-way unroll uses a fixed
+// association order ((s0+s1)+(s2+s3), then the tail), so every caller gets
+// the same rounding for the same operands.
+func dot(a, b []float64) float64 {
+	if len(b) > len(a) {
+		b = b[:len(a)]
+	}
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// sqNormDim is the squared norm of x truncated to dim components (rows
+// longer than the model dimension contribute only their first dim
+// components, matching the pre-flat per-pair distance loop).
+func sqNormDim(x []float64, dim int) float64 {
+	if len(x) > dim {
+		x = x[:dim]
+	}
+	return dot(x, x)
+}
+
+// kernelArg is the squared distance recovered from cached norms and a dot
+// product, clamped at zero: n_i + n_j - 2<x_i,x_j> can round a hair below
+// zero when the vectors (nearly) coincide, and the clamp keeps k <= 1.
+func kernelArg(ni, nj, d float64) float64 {
+	a := ni + nj - 2*d
+	if a < 0 {
+		return 0
+	}
+	return a
+}

@@ -77,27 +77,27 @@ func TestDisabledObsZeroAllocInnerLoop(t *testing.T) {
 	}
 }
 
-// TestKernelCacheMissCounting pins the miss counter to the row-eviction
-// path: problems above fullMatrixLimit rows compute rows on demand.
+// TestKernelCacheMissCounting pins the miss counter to row computations:
+// rows are computed lazily on first touch (a miss) and served from the LRU
+// afterwards.
 func TestKernelCacheMissCounting(t *testing.T) {
-	x := make([][]float64, fullMatrixLimit+1)
+	x := make([][]float64, 64)
 	for i := range x {
 		x[i] = []float64{float64(i)}
 	}
+	flat, norms, dim := flatten(x)
 	reg := obs.NewRegistry()
-	c := newKernelCache(x, 0.1, reg.Counter("misses"))
+	c := newKernelCache(flat, norms, len(x), dim, 0.1, 0, reg.Counter("misses"))
 	c.row(0)
 	c.row(0) // cached: no new miss
 	c.row(1)
 	if got := reg.Counter("misses").Value(); got != 2 {
 		t.Fatalf("misses: %d, want 2", got)
 	}
-	// The full-matrix path never misses.
-	small := x[:10]
-	reg2 := obs.NewRegistry()
-	c2 := newKernelCache(small, 0.1, reg2.Counter("misses"))
-	c2.row(3)
-	if got := reg2.Counter("misses").Value(); got != 0 {
-		t.Fatalf("full-matrix misses: %d, want 0", got)
+	// Within budget nothing is evicted, so re-touching stays free.
+	c.row(1)
+	c.row(0)
+	if got := reg.Counter("misses").Value(); got != 2 {
+		t.Fatalf("misses after re-touch: %d, want 2", got)
 	}
 }

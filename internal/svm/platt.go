@@ -129,9 +129,5 @@ func (p *PlattScaler) Prob(decision float64) float64 {
 // CalibrateModel fits a Platt scaler on the model's own decisions over a
 // labelled calibration set (use held-out data where possible).
 func CalibrateModel(m *Model, x [][]float64, y []int) (*PlattScaler, error) {
-	d := make([]float64, len(x))
-	for i := range x {
-		d[i] = m.Decision(x[i])
-	}
-	return FitPlatt(d, y)
+	return FitPlatt(m.DecisionBatch(x), y)
 }

@@ -1,14 +1,23 @@
 // Package svm implements the two-class soft-margin C-type support vector
 // machine with a Gaussian radial basis kernel (§III-D1), trained by
 // sequential minimal optimization with maximal-violating-pair working-set
-// selection — the same model class and algorithm family as LIBSVM [20],
-// which the paper links against, reimplemented on the standard library.
+// selection and the standard shrinking heuristic — the same model class
+// and algorithm family as LIBSVM [20], which the paper links against,
+// reimplemented on the standard library.
+//
+// The hot paths work on a flat data layout: training rows and support
+// vectors live in one contiguous []float64 with stride dim, squared norms
+// are precomputed per row, and every RBF evaluation is a cached-norm dot
+// product (see kernel.go). Inference over many rows should go through
+// Model.DecisionBatch, which reuses scratch buffers and fans out across
+// CPUs (see batch.go).
 package svm
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"hotspot/internal/obs"
@@ -27,6 +36,8 @@ type Params struct {
 	// WeightPos and WeightNeg scale C per class (1 when zero), the usual
 	// remedy for residual class imbalance.
 	WeightPos, WeightNeg float64
+	// CacheBytes bounds the kernel-row LRU cache (<= 0: DefaultCacheBytes).
+	CacheBytes int
 	// Obs receives training metrics (SMO iterations, kernel-cache misses,
 	// support-vector counts, training wall time). nil disables
 	// instrumentation at zero cost — the disabled path adds no allocations
@@ -37,7 +48,11 @@ type Params struct {
 // DefaultParams mirror the paper's initial values: C = 1000, gamma = 0.01.
 var DefaultParams = Params{C: 1000, Gamma: 0.01, Tol: 1e-3}
 
-// Model is a trained SVM.
+// Model is a trained SVM. The exported fields are the persisted
+// representation; the flat support-vector layout and cached norms that the
+// decision paths use are derived lazily (and at most once) from SVs, so
+// models restored from older serialized forms pick up the fast path on
+// first use. Do not mutate SVs/Coef/Gamma after the first Decision call.
 type Model struct {
 	// SVs are the support vectors.
 	SVs [][]float64
@@ -49,6 +64,19 @@ type Model struct {
 	Gamma float64
 	// Iters reports how many SMO iterations training took.
 	Iters int
+
+	// Flat fast-path state, built by prepare().
+	prepOnce sync.Once
+	flat     []float64 // support vectors, contiguous, stride dim
+	norms    []float64 // per-SV squared norms
+	dim      int
+}
+
+// prepare builds the flat support-vector layout on first use.
+func (m *Model) prepare() {
+	m.prepOnce.Do(func() {
+		m.flat, m.norms, m.dim = flatten(m.SVs)
+	})
 }
 
 // ErrNoData is returned when a class is missing from the training set.
@@ -98,13 +126,17 @@ func Train(x [][]float64, y []int, p Params) (*Model, error) {
 	}
 
 	start := time.Now()
+	flat, norms, dim := flatten(x)
 	s := &solver{
-		x: x, gamma: p.Gamma,
+		x: x, n: n, dim: dim, flat: flat, norms: norms,
+		gamma:  p.Gamma,
+		tol:    p.Tol,
 		y:      make([]float64, n),
 		alpha:  make([]float64, n),
 		grad:   make([]float64, n),
 		cBound: make([]float64, n),
-		cache:  newKernelCache(x, p.Gamma, p.Obs.Counter("svm.kernel_cache_misses")),
+		active: make([]int, n),
+		cache:  newKernelCache(flat, norms, n, dim, p.Gamma, p.CacheBytes, p.Obs.Counter("svm.kernel_cache_misses")),
 	}
 	for i, t := range y {
 		s.y[i] = float64(t)
@@ -114,15 +146,48 @@ func Train(x [][]float64, y []int, p Params) (*Model, error) {
 			s.cBound[i] = p.C * p.WeightNeg
 		}
 		s.grad[i] = -1 // gradient of 1/2 a'Qa - e'a at a = 0
+		s.active[i] = i
 	}
 
+	// SMO main loop with shrinking: every shrinkPeriod iterations,
+	// bound-clamped variables that cannot re-enter the working set are
+	// deactivated so selectPair and the gradient update stop scanning
+	// them. Apparent convergence on the shrunken problem triggers a full
+	// gradient reconstruction and a re-check over every variable.
+	shrinkPeriod := n
+	if shrinkPeriod > 1000 {
+		shrinkPeriod = 1000
+	}
+	counter := shrinkPeriod
 	iters := 0
-	for ; iters < maxIter; iters++ {
+	for iters < maxIter {
+		if counter == 0 {
+			s.shrink()
+			counter = shrinkPeriod
+		}
+		counter--
 		i, j, gap := s.selectPair()
 		if gap < p.Tol {
-			break
+			if len(s.active) == n {
+				break
+			}
+			// Converged on the shrunken problem only: reconstruct the
+			// gradients of the shrunken variables and re-check in full.
+			s.reconstructGradient()
+			s.activateAll()
+			counter = 1
+			if i, j, gap = s.selectPair(); gap < p.Tol {
+				break
+			}
 		}
 		s.update(i, j)
+		iters++
+	}
+	if len(s.active) < n {
+		// Iteration budget exhausted while shrunk: the inactive gradients
+		// are stale and buildModel's rho estimate needs all of them.
+		s.reconstructGradient()
+		s.activateAll()
 	}
 	m, err := s.buildModel(iters, p)
 	if err == nil {
@@ -135,21 +200,32 @@ func Train(x [][]float64, y []int, p Params) (*Model, error) {
 }
 
 type solver struct {
-	x      [][]float64
+	x      [][]float64 // original rows (aliased into the model's SVs)
+	n, dim int
+	flat   []float64 // rows, contiguous, stride dim
+	norms  []float64 // per-row squared norms
 	y      []float64
 	alpha  []float64
 	grad   []float64 // grad_i = sum_j Q_ij alpha_j - 1
 	cBound []float64
 	gamma  float64
+	tol    float64
 	cache  *kernelCache
+	// active holds the working indices; shrunken variables are removed
+	// and their grad entries go stale until reconstructGradient.
+	active []int
+	// unshrunk is set once the close-to-convergence full reconstruction
+	// has run (LIBSVM's one-shot unshrink).
+	unshrunk bool
 }
 
-// selectPair picks the maximal violating pair (WSS1 of Fan, Chen, Lin).
+// selectPair picks the maximal violating pair (WSS1 of Fan, Chen, Lin)
+// over the active set.
 func (s *solver) selectPair() (i, j int, gap float64) {
 	i, j = -1, -1
 	gmax := math.Inf(-1)
 	gmin := math.Inf(1)
-	for t := range s.alpha {
+	for _, t := range s.active {
 		// I_up: y=+1 && a<C, or y=-1 && a>0.
 		if (s.y[t] > 0 && s.alpha[t] < s.cBound[t]) || (s.y[t] < 0 && s.alpha[t] > 0) {
 			if v := -s.y[t] * s.grad[t]; v > gmax {
@@ -207,15 +283,137 @@ func (s *solver) update(i, j int) {
 	} else if ai > s.cBound[i] {
 		ai = s.cBound[i]
 	}
+	// Snap to the box walls: the clip-and-rederive chain can leave an
+	// alpha within rounding noise of a bound (e.g. 1e-16 instead of 0).
+	// Such a variable stays formally free, keeps winning pair selection,
+	// and its sub-ulp step vanishes against the partner's alpha — a
+	// permanent stall. Landing exactly on the bound keeps the KKT sets
+	// honest.
+	ai = snapToBound(ai, s.cBound[i])
+	aj = snapToBound(aj, s.cBound[j])
 	dAi, dAj := ai-oldAi, aj-oldAj
 	if dAi == 0 && dAj == 0 {
 		return
 	}
 	s.alpha[i], s.alpha[j] = ai, aj
-	for t := range s.grad {
-		qit := s.y[i] * s.y[t] * ki[t]
-		qjt := s.y[j] * s.y[t] * kj[t]
-		s.grad[t] += qit*dAi + qjt*dAj
+	// Gradient maintenance over the active set only; shrunken entries are
+	// reconstructed on demand.
+	yid, yjd := yi*dAi, yj*dAj
+	for _, t := range s.active {
+		s.grad[t] += s.y[t] * (yid*ki[t] + yjd*kj[t])
+	}
+}
+
+// snapToBound collapses values within relative rounding noise of the box
+// walls onto the walls themselves.
+func snapToBound(v, c float64) float64 {
+	const tol = 1e-12
+	if v < c*tol {
+		return 0
+	}
+	if v > c*(1-tol) {
+		return c
+	}
+	return v
+}
+
+// shrink deactivates variables clamped at a bound whose gradient says they
+// cannot rejoin the working set (Fan, Chen, Lin §4 / LIBSVM be_shrunk).
+func (s *solver) shrink() {
+	gmax1 := math.Inf(-1) // max over I_up of -y G
+	gmax2 := math.Inf(-1) // max over I_low of y G
+	for _, t := range s.active {
+		if (s.y[t] > 0 && s.alpha[t] < s.cBound[t]) || (s.y[t] < 0 && s.alpha[t] > 0) {
+			if v := -s.y[t] * s.grad[t]; v > gmax1 {
+				gmax1 = v
+			}
+		}
+		if (s.y[t] > 0 && s.alpha[t] > 0) || (s.y[t] < 0 && s.alpha[t] < s.cBound[t]) {
+			if v := s.y[t] * s.grad[t]; v > gmax2 {
+				gmax2 = v
+			}
+		}
+	}
+	if !s.unshrunk && gmax1+gmax2 <= s.tol*10 {
+		// Close to convergence: reconstruct once and restart shrinking
+		// from the full problem so the final gap check is exact.
+		s.unshrunk = true
+		s.reconstructGradient()
+		s.activateAll()
+		return
+	}
+	keep := s.active[:0]
+	for _, t := range s.active {
+		if !s.beShrunk(t, gmax1, gmax2) {
+			keep = append(keep, t)
+		}
+	}
+	if len(keep) < 2 {
+		return // never shrink below a workable pair
+	}
+	s.active = keep
+}
+
+// beShrunk reports whether variable t is safely clamped at its bound.
+func (s *solver) beShrunk(t int, gmax1, gmax2 float64) bool {
+	switch {
+	case s.alpha[t] >= s.cBound[t]: // upper bound
+		if s.y[t] > 0 {
+			return -s.grad[t] > gmax1
+		}
+		return -s.grad[t] > gmax2
+	case s.alpha[t] <= 0: // lower bound
+		if s.y[t] > 0 {
+			return s.grad[t] > gmax2
+		}
+		return s.grad[t] > gmax1
+	default: // free variables always stay active
+		return false
+	}
+}
+
+// reconstructGradient recomputes grad for every inactive variable from the
+// current alphas: grad_t = sum_{a_j > 0} a_j y_t y_j k(t, j) - 1. Only
+// nonzero alphas contribute, so the cost is #inactive x #SV dot products.
+func (s *solver) reconstructGradient() {
+	if len(s.active) == s.n {
+		return
+	}
+	inactive := make([]bool, s.n)
+	for i := range inactive {
+		inactive[i] = true
+	}
+	for _, t := range s.active {
+		inactive[t] = false
+	}
+	var sv []int
+	for j := 0; j < s.n; j++ {
+		if s.alpha[j] > 0 {
+			sv = append(sv, j)
+		}
+	}
+	for t := 0; t < s.n; t++ {
+		if !inactive[t] {
+			continue
+		}
+		xt := s.flat[t*s.dim : (t+1)*s.dim]
+		nt := s.norms[t]
+		g := -1.0
+		for _, j := range sv {
+			xj := s.flat[j*s.dim : (j+1)*s.dim]
+			k := math.Exp(-s.gamma * kernelArg(nt, s.norms[j], dot(xt, xj)))
+			g += s.alpha[j] * s.y[t] * s.y[j] * k
+		}
+		s.grad[t] = g
+	}
+}
+
+// activateAll restores the full working set in index order (keeping the
+// solver deterministic after an unshrink).
+func (s *solver) activateAll() {
+	s.active = s.active[:0]
+	for t := 0; t < s.n; t++ {
+		s.active = append(s.active, t)
 	}
 }
 
@@ -256,14 +454,26 @@ func (s *solver) buildModel(iters int, p Params) (*Model, error) {
 	if len(m.SVs) == 0 {
 		return nil, errors.New("svm: training produced no support vectors")
 	}
+	m.prepare() // build the flat layout eagerly; loaded models do it lazily
 	return m, nil
 }
 
 // Decision returns the raw decision value f(x); positive predicts class +1.
 func (m *Model) Decision(x []float64) float64 {
+	m.prepare()
+	return m.decideOne(x, sqNormDim(x, m.dim))
+}
+
+// decideOne evaluates f(x) given x's precomputed squared norm. It is the
+// single source of truth for the decision arithmetic: DecisionBatch's
+// blocked kernel performs the identical operations in the identical order,
+// so scalar and batched results are bit-for-bit equal.
+func (m *Model) decideOne(x []float64, xn float64) float64 {
 	var sum float64
-	for i, sv := range m.SVs {
-		sum += m.Coef[i] * rbf(sv, x, m.Gamma)
+	dim := m.dim
+	for i := range m.Coef {
+		d := dot(m.flat[i*dim:(i+1)*dim], x)
+		sum += m.Coef[i] * math.Exp(-m.Gamma*kernelArg(m.norms[i], xn, d))
 	}
 	return sum - m.Rho
 }
@@ -286,83 +496,21 @@ func (m *Model) PredictWithBias(x []float64, bias float64) int {
 	return -1
 }
 
-// Accuracy evaluates the model on a labelled set.
+// Accuracy evaluates the model on a labelled set (batched internally).
 func (m *Model) Accuracy(x [][]float64, y []int) float64 {
 	if len(x) == 0 {
 		return 0
 	}
+	dec := m.DecisionBatch(x)
 	correct := 0
-	for i := range x {
-		if m.Predict(x[i]) == y[i] {
+	for i, d := range dec {
+		pred := -1
+		if d >= 0 {
+			pred = +1
+		}
+		if pred == y[i] {
 			correct++
 		}
 	}
 	return float64(correct) / float64(len(x))
-}
-
-func rbf(a, b []float64, gamma float64) float64 {
-	var d2 float64
-	for i := range a {
-		d := a[i] - b[i]
-		d2 += d * d
-	}
-	return math.Exp(-gamma * d2)
-}
-
-// kernelCache serves kernel matrix rows, precomputing the full matrix for
-// small problems and caching rows for large ones.
-type kernelCache struct {
-	x     [][]float64
-	gamma float64
-	full  [][]float64 // full matrix when small enough
-	rows  map[int][]float64
-	order []int // FIFO eviction order
-	limit int
-	// misses counts row computations (nil-safe; nil when obs is off).
-	misses *obs.Counter
-}
-
-const fullMatrixLimit = 2048
-
-func newKernelCache(x [][]float64, gamma float64, misses *obs.Counter) *kernelCache {
-	c := &kernelCache{x: x, gamma: gamma, limit: 512, misses: misses}
-	if len(x) <= fullMatrixLimit {
-		c.full = make([][]float64, len(x))
-		for i := range x {
-			row := make([]float64, len(x))
-			for j := range x {
-				if j < i {
-					row[j] = c.full[j][i]
-				} else {
-					row[j] = rbf(x[i], x[j], gamma)
-				}
-			}
-			c.full[i] = row
-		}
-	} else {
-		c.rows = make(map[int][]float64)
-	}
-	return c
-}
-
-func (c *kernelCache) row(i int) []float64 {
-	if c.full != nil {
-		return c.full[i]
-	}
-	if r, ok := c.rows[i]; ok {
-		return r
-	}
-	c.misses.Inc()
-	r := make([]float64, len(c.x))
-	for j := range c.x {
-		r[j] = rbf(c.x[i], c.x[j], c.gamma)
-	}
-	if len(c.order) >= c.limit {
-		evict := c.order[0]
-		c.order = c.order[1:]
-		delete(c.rows, evict)
-	}
-	c.rows[i] = r
-	c.order = append(c.order, i)
-	return r
 }

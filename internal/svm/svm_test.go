@@ -257,10 +257,10 @@ func TestScalerEmpty(t *testing.T) {
 }
 
 func TestKernelCacheLargeProblem(t *testing.T) {
-	// Force the row-cache path (> fullMatrixLimit rows) on an easy
-	// problem; training must still converge.
+	// Force cache eviction (a tight row budget) on an easy problem;
+	// training must still converge.
 	rng := rand.New(rand.NewSource(6))
-	n := fullMatrixLimit + 100
+	n := 2148
 	x := make([][]float64, n)
 	y := make([]int, n)
 	for i := range x {
@@ -271,7 +271,7 @@ func TestKernelCacheLargeProblem(t *testing.T) {
 			y[i] = -1
 		}
 	}
-	m, err := Train(x, y, Params{C: 10, Gamma: 5, MaxIter: 20000})
+	m, err := Train(x, y, Params{C: 10, Gamma: 5, MaxIter: 20000, CacheBytes: 64 * 8 * n})
 	if err != nil {
 		t.Fatal(err)
 	}
