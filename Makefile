@@ -5,7 +5,7 @@ GOVULNCHECK ?= govulncheck
 COVERPROFILE ?= cover.out
 BENCHCOUNT ?= 5
 
-.PHONY: all build vet test test-race fuzz bench bench-svm bench-svm-json check lint cover cover-check
+.PHONY: all build vet test test-race fuzz bench bench-svm bench-svm-json bench-scan docs-check check lint cover cover-check
 
 all: check
 
@@ -45,6 +45,18 @@ bench-svm:
 bench-svm-json:
 	HOTSPOT_BENCH_JSON=1 $(GO) test -run TestWriteBenchSVMJSON -count=1 ./internal/svm/
 
+# Tiled-scan pipeline benchmarks (monolithic vs tiled vs GDS-sourced).
+# bench-scan-baseline.txt is the committed benchstat baseline; refresh it
+# from a quiet machine when the numbers move for a good reason.
+bench-scan:
+	$(GO) test -run='^$$' -bench='BenchmarkScanTiled' -benchtime=2x \
+		-count=$(BENCHCOUNT) -timeout 40m ./internal/core/
+
+# Markdown documentation lint: relative links + anchors resolve, curated
+# misspelling list (cmd/docscheck, no external tools).
+docs-check:
+	$(GO) run ./cmd/docscheck .
+
 # Static analysis beyond vet. CI installs the two tools; locally:
 #   go install honnef.co/go/tools/cmd/staticcheck@latest
 #   go install golang.org/x/vuln/cmd/govulncheck@latest
@@ -67,4 +79,4 @@ cover-check: cover
 	awk -v t="$$total" -v b="$$base" 'BEGIN{exit !(t+0 >= b+0)}' || { \
 		echo "FAIL: coverage $$total% fell below the $$base% baseline"; exit 1; }
 
-check: vet build test test-race fuzz
+check: vet build test test-race fuzz docs-check

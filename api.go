@@ -95,6 +95,19 @@ func Evaluate(reported, truth []Rect, areaDBU2 int64, spec ClipSpec) Score {
 	return core.EvaluateReport(reported, truth, areaDBU2, spec)
 }
 
+// Tiled scanning types. Detector.ScanTiled / ScanTiledContext /
+// ScanGDSContext evaluate chip-scale layouts in bounded memory: the
+// layout is cut into halo-overlapped tiles processed by a work-stealing
+// worker pool, with checkpoint/resume and a report identical to Detect
+// (see docs/ARCHITECTURE.md, "Chip-scale tiled scanning").
+type (
+	// ScanOptions parameterizes a tiled scan (tile side, workers,
+	// checkpoint path, per-tile memory budget); its zero value is usable.
+	ScanOptions = core.ScanOptions
+	// ScanStats reports a tiled scan's orchestration counters.
+	ScanStats = core.ScanStats
+)
+
 // Observability types. Set Config.Obs to a NewRegistry() to collect
 // counters and duration histograms across training and detection; set
 // Config.Progress to stream per-round training events. Report.Telemetry

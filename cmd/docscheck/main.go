@@ -1,0 +1,263 @@
+// Command docscheck lints the repository's markdown documentation with no
+// dependencies beyond the standard library:
+//
+//   - every relative link resolves to an existing file, and a #fragment
+//     resolves to a real heading anchor in the target (GitHub slug rules);
+//   - a curated list of common misspellings is absent from prose.
+//
+// HTTP(S) and mailto links are not fetched (CI must not depend on the
+// network). Fenced code blocks and inline code spans are ignored for both
+// checks, so JSON snippets like [x0,y0,x1,y1] never false-positive.
+//
+// Usage:
+//
+//	docscheck [files or directories...]
+//
+// Directories are walked for *.md (skipping dot-directories). With no
+// arguments the current directory is walked. Exit status 1 means findings
+// were printed, one per line, as file:line: message.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var files []string
+	for _, root := range roots {
+		fi, err := os.Stat(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(2)
+		}
+		if !fi.IsDir() {
+			files = append(files, root)
+			continue
+		}
+		err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if name := d.Name(); name != "." && strings.HasPrefix(name, ".") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.EqualFold(filepath.Ext(path), ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	var findings []string
+	anchors := map[string]map[string]bool{} // file path -> set of heading slugs
+	for _, f := range files {
+		if _, err := anchorsOf(f, anchors); err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	for _, f := range files {
+		fs, err := checkFile(f, anchors)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d finding(s) in %d file(s)\n", len(findings), len(files))
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d file(s) clean\n", len(files))
+}
+
+var (
+	linkRE    = regexp.MustCompile(`\[[^\]]*\]\(([^()\s]+)\)`)
+	headingRE = regexp.MustCompile("^#{1,6}\\s+(.*)$")
+	inlineRE  = regexp.MustCompile("`[^`]*`")
+	wordRE    = regexp.MustCompile(`[A-Za-z]+`)
+)
+
+// misspellings maps common errors to their corrections. Curated: only
+// unambiguous misspellings belong here, never words with a legitimate
+// alternate spelling.
+var misspellings = map[string]string{
+	"teh":          "the",
+	"recieve":      "receive",
+	"recieved":     "received",
+	"seperate":     "separate",
+	"seperately":   "separately",
+	"occured":      "occurred",
+	"occurence":    "occurrence",
+	"definately":   "definitely",
+	"accross":      "across",
+	"untill":       "until",
+	"wich":         "which",
+	"enviroment":   "environment",
+	"existance":    "existence",
+	"neccessary":   "necessary",
+	"necessery":    "necessary",
+	"paramter":     "parameter",
+	"paramters":    "parameters",
+	"propogate":    "propagate",
+	"sucessful":    "successful",
+	"succesful":    "successful",
+	"supress":      "suppress",
+	"thier":        "their",
+	"transfering":  "transferring",
+	"comparision":  "comparison",
+	"overriden":    "overridden",
+	"reproducable": "reproducible",
+	"dependancy":   "dependency",
+	"dependancies": "dependencies",
+	"benchamrk":    "benchmark",
+	"lenght":       "length",
+	"heigth":       "height",
+	"retreive":     "retrieve",
+	"calender":     "calendar",
+	"guage":        "gauge",
+	"recurr":       "recur",
+	"resumeable":   "resumable",
+}
+
+// anchorsOf computes (and caches) the set of GitHub-style heading anchors
+// in a markdown file.
+func anchorsOf(path string, cache map[string]map[string]bool) (map[string]bool, error) {
+	clean := filepath.Clean(path)
+	if a, ok := cache[clean]; ok {
+		return a, nil
+	}
+	data, err := os.ReadFile(clean)
+	if err != nil {
+		return nil, err
+	}
+	set := map[string]bool{}
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := headingRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		slug := slugify(m[1])
+		// GitHub disambiguates duplicate headings with -1, -2, …
+		if set[slug] {
+			for i := 1; ; i++ {
+				s := fmt.Sprintf("%s-%d", slug, i)
+				if !set[s] {
+					slug = s
+					break
+				}
+			}
+		}
+		set[slug] = true
+	}
+	cache[clean] = set
+	return set, nil
+}
+
+// slugify applies GitHub's heading-anchor rules: lowercase, drop
+// everything but letters, digits, spaces, hyphens, and underscores, then
+// replace spaces with hyphens. Inline code backticks and link syntax are
+// stripped first.
+func slugify(heading string) string {
+	h := strings.NewReplacer("`", "", "[", "", "]", "").Replace(heading)
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(h)) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' || r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+func checkFile(path string, anchorCache map[string]map[string]bool) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	report := func(lineNo int, format string, args ...any) {
+		findings = append(findings, fmt.Sprintf("%s:%d: %s", path, lineNo, fmt.Sprintf(format, args...)))
+	}
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		lineNo := i + 1
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		prose := inlineRE.ReplaceAllString(line, "")
+
+		for _, m := range linkRE.FindAllStringSubmatch(prose, -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			file, frag, _ := strings.Cut(target, "#")
+			dest := filepath.Clean(path)
+			if file != "" {
+				dest = filepath.Join(filepath.Dir(path), file)
+				fi, err := os.Stat(dest)
+				if err != nil {
+					report(lineNo, "broken link %q: %s does not exist", target, dest)
+					continue
+				}
+				if fi.IsDir() || frag == "" {
+					continue
+				}
+				if !strings.EqualFold(filepath.Ext(dest), ".md") {
+					continue // anchors are only checkable in markdown
+				}
+			}
+			if frag != "" {
+				set, err := anchorsOf(dest, anchorCache)
+				if err != nil {
+					return nil, err
+				}
+				if !set[frag] {
+					report(lineNo, "broken anchor %q: no heading in %s slugs to %q", target, dest, frag)
+				}
+			}
+		}
+
+		for _, w := range wordRE.FindAllString(prose, -1) {
+			if fix, ok := misspellings[strings.ToLower(w)]; ok {
+				report(lineNo, "misspelling %q (want %q)", w, fix)
+			}
+		}
+	}
+	return findings, nil
+}

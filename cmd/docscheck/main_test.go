@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSlugify(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"Chip-scale tiled scanning", "chip-scale-tiled-scanning"},
+		{"POST /v1/detect", "post-v1detect"},
+		{"`code` in a Heading", "code-in-a-heading"},
+		{"Hello, World!", "hello-world"},
+		{"  trimmed  ", "trimmed"},
+	} {
+		if got := slugify(tc.in); got != tc.want {
+			t.Errorf("slugify(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckFileFindings(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "target.md", "# Target\n\n## Real Section\n")
+	doc := write(t, dir, "doc.md",
+		"# Doc\n\n"+
+			"[ok](target.md) [ok2](target.md#real-section) [self](#doc)\n"+
+			"[gone](missing.md) [bad](target.md#nope) with teh typo\n\n"+
+			"```\n[fenced](also-missing.md) seperate\n```\n\n"+
+			"and `[inline](code-missing.md) occured` spans are skipped\n")
+
+	findings, err := checkFile(doc, map[string]map[string]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 3 {
+		t.Fatalf("got %d findings, want 3:\n%s", len(findings), strings.Join(findings, "\n"))
+	}
+	for i, want := range []string{"missing.md", `anchor "target.md#nope"`, `misspelling "teh"`} {
+		if !strings.Contains(findings[i], want) {
+			t.Errorf("finding %d = %q, want mention of %q", i, findings[i], want)
+		}
+	}
+	for _, f := range findings {
+		if !strings.HasPrefix(f, doc+":4:") {
+			t.Errorf("finding %q should point at line 4", f)
+		}
+	}
+}
+
+func TestAnchorsDuplicateHeadings(t *testing.T) {
+	dir := t.TempDir()
+	p := write(t, dir, "dup.md", "# Same\n## Same\ntext\n## Same\n")
+	set, err := anchorsOf(p, map[string]map[string]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"same", "same-1", "same-2"} {
+		if !set[want] {
+			t.Errorf("missing anchor %q in %v", want, set)
+		}
+	}
+}
+
+func TestFencedHeadingsIgnored(t *testing.T) {
+	dir := t.TempDir()
+	p := write(t, dir, "f.md", "# Real\n```\n# Not A Heading\n```\n")
+	set, err := anchorsOf(p, map[string]map[string]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set["not-a-heading"] {
+		t.Error("heading inside a fence must not produce an anchor")
+	}
+	if !set["real"] {
+		t.Error("real heading missing")
+	}
+}

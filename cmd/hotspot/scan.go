@@ -1,0 +1,198 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hotspot/internal/bundle"
+	"hotspot/internal/core"
+	"hotspot/internal/gds"
+	"hotspot/internal/geom"
+	"hotspot/internal/iccad"
+	"hotspot/internal/obs"
+)
+
+// cmdScan runs the chip-scale tiled scan pipeline: the layout is cut into
+// halo-overlapped tiles, tiles are extracted and classified by a
+// work-stealing worker pool under a per-tile memory budget, and seams are
+// deduplicated so the result matches the monolithic `hotspot detect`
+// exactly. With -checkpoint, completed tiles are journaled so an
+// interrupted scan (Ctrl-C) can pick up where it left off with -resume.
+func cmdScan(args []string) error {
+	fs := flag.NewFlagSet("scan", flag.ExitOnError)
+	name, scale, workers := benchFlags(fs)
+	gdsPath := fs.String("gds", "", "scan a GDSII file (flattened per tile) instead of a benchmark")
+	top := fs.String("top", "", "top structure for -gds (default: the sole unreferenced structure)")
+	bundleDir := fs.String("bundle", "", "scan a bundle directory's testing layout")
+	model := fs.String("model", "", "load a saved model instead of training on the benchmark")
+	tile := fs.Int("tile", 0, "tile side in dbu (0 = 8x the clip side; min = core side)")
+	ckpt := fs.String("checkpoint", "", "journal completed tiles to this file")
+	resume := fs.Bool("resume", false, "replay a compatible -checkpoint journal before scanning")
+	mem := fs.Int64("mem", 0, "per-tile memory budget in bytes (0 = 64 MiB, negative = unbounded)")
+	stats, verbose, debugAddr := obsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *resume && *ckpt == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	if *gdsPath != "" && *model == "" {
+		return fmt.Errorf("-gds has no training clips; supply a trained model with -model")
+	}
+
+	reg, progress, err := obsSetup(*stats, *verbose, *debugAddr)
+	if err != nil {
+		return err
+	}
+
+	// Benchmark or bundle input (also the training source when no -model).
+	var b *iccad.Benchmark
+	if *bundleDir != "" {
+		bd, err := bundle.Load(*bundleDir)
+		if err != nil {
+			return err
+		}
+		b = &iccad.Benchmark{
+			Name:       bd.Meta.Name,
+			Process:    bd.Meta.Process,
+			Spec:       bd.Spec(),
+			Layer:      bd.Meta.Layer,
+			Train:      bd.Train,
+			Test:       bd.Test,
+			TruthCores: bd.Truth,
+		}
+	} else if *gdsPath == "" {
+		b, err = generate(*name, *scale, *workers)
+		if err != nil {
+			return err
+		}
+	}
+
+	t0 := time.Now()
+	var det *core.Detector
+	if *model != "" {
+		f, err := os.Open(*model)
+		if err != nil {
+			return err
+		}
+		det, err = core.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		det.SetObs(reg)
+	} else {
+		cfg := core.DefaultConfig()
+		if *workers > 0 {
+			cfg.Workers = *workers
+		}
+		cfg.Obs = reg
+		cfg.Progress = progress
+		det, err = core.Train(b.Train, cfg)
+		if err != nil {
+			return err
+		}
+	}
+	trainDur := time.Since(t0)
+
+	opts := core.ScanOptions{
+		Tile:         geom.Coord(*tile),
+		Workers:      *workers,
+		Checkpoint:   *ckpt,
+		Resume:       *resume,
+		TileMemBytes: *mem,
+	}
+
+	// Ctrl-C / SIGTERM cancels the scan cooperatively: in-flight tiles
+	// finish, completed tiles are already journaled, and the partial
+	// report is printed with a resume hint.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var rep core.Report
+	var st core.ScanStats
+	if *gdsPath != "" {
+		f, err := os.Open(*gdsPath)
+		if err != nil {
+			return err
+		}
+		lib, err := gds.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		topName := *top
+		if topName == "" {
+			if topName, err = soleTop(lib); err != nil {
+				return err
+			}
+		}
+		rep, st, err = det.ScanGDSContext(ctx, lib, topName, opts)
+		return finishScan(rep, st, err, b, det, trainDur, *ckpt, *stats, reg)
+	}
+	rep, st, err = det.ScanTiledContext(ctx, b.Test, opts)
+	return finishScan(rep, st, err, b, det, trainDur, *ckpt, *stats, reg)
+}
+
+// finishScan prints the scan outcome. An interruption with a checkpoint on
+// disk is a clean exit (the journal is the product); without one it is an
+// error.
+func finishScan(rep core.Report, st core.ScanStats, err error, b *iccad.Benchmark,
+	det *core.Detector, trainDur time.Duration, ckpt string, stats bool, reg *obs.Registry) error {
+	interrupted := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	if err != nil && !interrupted {
+		return err
+	}
+	fmt.Printf("tiles: %d/%d done (%d resumed, %d split)\n",
+		st.TilesDone, st.TilesTotal, st.TilesResumed, st.TilesSplit)
+	fmt.Printf("candidates=%d flagged=%d reclaimed=%d hotspots=%d train=%s scan=%s\n",
+		rep.Candidates, rep.Flagged, rep.Reclaimed, len(rep.Hotspots),
+		trainDur.Round(time.Millisecond), rep.Runtime.Round(time.Millisecond))
+	if interrupted {
+		if ckpt != "" {
+			fmt.Printf("interrupted: %v; re-run with -resume to continue from %s\n", err, ckpt)
+			return nil
+		}
+		return err
+	}
+	if b != nil && len(b.TruthCores) > 0 {
+		score := core.EvaluateReport(rep.Hotspots, b.TruthCores, b.Test.Area(), b.Spec)
+		score.Runtime = trainDur + rep.Runtime
+		fmt.Printf("%s: %s\n", b.Name, score)
+	}
+	if stats {
+		tel := det.Telemetry()
+		printObservability(&tel, &rep.Telemetry, reg)
+	}
+	return nil
+}
+
+// soleTop returns the library's single unreferenced structure, the natural
+// default top for a well-formed hierarchy.
+func soleTop(lib *gds.Library) (string, error) {
+	referenced := map[string]bool{}
+	for _, s := range lib.Structures {
+		for _, r := range s.SRefs {
+			referenced[r.Name] = true
+		}
+		for _, r := range s.ARefs {
+			referenced[r.Name] = true
+		}
+	}
+	var tops []string
+	for _, s := range lib.Structures {
+		if !referenced[s.Name] {
+			tops = append(tops, s.Name)
+		}
+	}
+	if len(tops) != 1 {
+		return "", fmt.Errorf("%d top-level structures %v; pick one with -top", len(tops), tops)
+	}
+	return tops[0], nil
+}

@@ -7,12 +7,15 @@
 // extraction, and redundant clip removal.
 //
 // This package is the public API (api.go): Train, Detect, Evaluate,
-// LoadModel, GenerateBenchmark, and the clip/layout types they operate
-// on. The implementation lives under internal/ (geom, gds, layout, litho,
-// iccad, clip, topo, mtcg, features, svm, core, patmatch, drc, render,
-// bundle, experiments); the hotspot command (cmd/hotspot) and the examples
-// (examples/) exercise the same pipeline. The benchmarks in bench_test.go
-// regenerate every table and figure of the paper's evaluation section —
-// see DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
-// results.
+// LoadModel, GenerateBenchmark, the chip-scale tiled scan
+// (Detector.ScanTiled, bounded memory with checkpoint/resume), the
+// hotspotd inference server (NewServer), and the clip/layout types they
+// operate on. The implementation lives under internal/ (geom, gds,
+// layout, litho, iccad, clip, topo, mtcg, features, svm, core, scan,
+// server, obs, patmatch, drc, render, bundle, experiments); the hotspot
+// command (cmd/hotspot) and the examples (examples/) exercise the same
+// pipeline. The benchmarks in bench_test.go regenerate every table and
+// figure of the paper's evaluation section — see docs/ARCHITECTURE.md
+// for the system walkthrough, DESIGN.md for the experiment index, and
+// EXPERIMENTS.md for recorded results.
 package hotspot

@@ -27,13 +27,14 @@ type Requirements struct {
 	MaxBorderDist geom.Coord
 	// SnapGrid deduplicates candidates that fall in the same
 	// SnapGrid x SnapGrid cell AND whose cores have the same canonical
-	// topology (the first such candidate in scan order wins). Dense wire
-	// arrays otherwise anchor one near-identical clip per dissected
-	// piece; snapping keeps one per local topology, so a motif anchored
-	// beside background routing is never merged into a routing clip.
-	// Every polygon remains covered by at least one clip window because
-	// the kept anchor is within SnapGrid (< core side) of each merged
-	// one. <= 0 disables.
+	// topology (the candidate with the lexicographically smallest (y, x)
+	// anchor wins, so the kept set is independent of enumeration order,
+	// band partitioning, and tiling). Dense wire arrays otherwise anchor
+	// one near-identical clip per dissected piece; snapping keeps one per
+	// local topology, so a motif anchored beside background routing is
+	// never merged into a routing clip. Every polygon remains covered by
+	// at least one clip window because the kept anchor is within SnapGrid
+	// (< core side) of each merged one. <= 0 disables.
 	SnapGrid geom.Coord
 }
 
@@ -63,24 +64,63 @@ func Extract(l *layout.Layout, layer layout.Layer, spec Spec, req Requirements) 
 	return extractParallel(l, layer, spec, req, 1, nil)
 }
 
-// dedupKey identifies a (snap cell, core topology) equivalence class.
-type dedupKey struct {
-	cell geom.Point
-	topo string
+// Key identifies a candidate's (snap cell, core topology) deduplication
+// equivalence class. Candidates sharing a Key are near-identical clips of
+// which extraction keeps exactly one. Keys are comparable and serialize to
+// JSON, so tiled scans can journal them and deduplicate across tile seams.
+type Key struct {
+	// Cell is the SnapGrid cell of the anchor (the exact anchor when
+	// snapping is disabled).
+	Cell geom.Point `json:"cell"`
+	// Topo is the core's canonical topology string; empty when snapping
+	// is disabled.
+	Topo string `json:"topo,omitempty"`
 }
 
-// candidateKey computes a candidate's dedup key. With SnapGrid disabled
-// the key is the exact anchor.
-func candidateKey(l *layout.Layout, layer layout.Layer, spec Spec, at geom.Point, req Requirements) dedupKey {
+// KeyFor computes a candidate's dedup key. With SnapGrid disabled the key
+// is the exact anchor.
+func KeyFor(l *layout.Layout, layer layout.Layer, spec Spec, at geom.Point, req Requirements) Key {
 	if req.SnapGrid <= 0 {
-		return dedupKey{cell: at}
+		return Key{Cell: at}
 	}
 	core := spec.CoreFor(at)
 	rects := l.QueryClipped(layer, core, nil)
-	return dedupKey{
-		cell: geom.Pt(floorDiv(at.X, req.SnapGrid), floorDiv(at.Y, req.SnapGrid)),
-		topo: topo.CanonicalKey(rects, core),
+	return Key{
+		Cell: geom.Pt(floorDiv(at.X, req.SnapGrid), floorDiv(at.Y, req.SnapGrid)),
+		Topo: topo.CanonicalKey(rects, core),
 	}
+}
+
+// Keyed is a qualifying candidate together with its dedup key.
+type Keyed struct {
+	At  geom.Point `json:"at"`
+	Key Key        `json:"key"`
+}
+
+// DedupCanonical sorts keyed candidates by anchor (y, then x) and keeps
+// the first of each key class — the canonical winner. Because the winner
+// is the class's coordinate-minimal anchor, deduplication is associative:
+// deduplicating per tile (or per band) and then once more across the union
+// yields the same set as one global pass, which is what makes
+// seam-straddling duplicates in tiled scans collapse to the monolithic
+// result.
+func DedupCanonical(kcs []Keyed) []Keyed {
+	sort.Slice(kcs, func(i, j int) bool {
+		if kcs[i].At.Y != kcs[j].At.Y {
+			return kcs[i].At.Y < kcs[j].At.Y
+		}
+		return kcs[i].At.X < kcs[j].At.X
+	})
+	seen := make(map[Key]bool, len(kcs))
+	out := kcs[:0]
+	for _, kc := range kcs {
+		if seen[kc.Key] {
+			continue
+		}
+		seen[kc.Key] = true
+		out = append(out, kc)
+	}
+	return out
 }
 
 func floorDiv(a, b geom.Coord) geom.Coord {
@@ -117,25 +157,16 @@ func extractParallel(l *layout.Layout, layer layout.Layer, spec Spec, req Requir
 	if workers <= 1 {
 		pieces := DissectLayer(l, layer, spec.CoreSide)
 		reg.Counter("clip.pieces").Add(int64(len(pieces)))
-		seen := make(map[dedupKey]bool, len(pieces))
-		kept := 0
-		var out []Candidate
+		kcs := make([]Keyed, 0, len(pieces)/4)
 		for _, piece := range pieces {
 			at := geom.Pt(piece.X0, piece.Y0)
 			if !MeetsRequirements(l, layer, spec, at, req) {
 				continue
 			}
-			kept++
-			key := candidateKey(l, layer, spec, at, req)
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			out = append(out, Candidate{At: at})
+			kcs = append(kcs, Keyed{At: at, Key: KeyFor(l, layer, spec, at, req)})
 		}
-		reg.Counter("clip.candidates_prededup").Add(int64(kept))
-		sortCandidates(out)
-		return out
+		reg.Counter("clip.candidates_prededup").Add(int64(len(kcs)))
+		return anchorsOf(DedupCanonical(kcs))
 	}
 	pieces := DissectLayer(l, layer, spec.CoreSide)
 	reg.Counter("clip.pieces").Add(int64(len(pieces)))
@@ -144,7 +175,7 @@ func extractParallel(l *layout.Layout, layer layout.Layer, spec Spec, req Requir
 		chunk = 1
 	}
 	var wg sync.WaitGroup
-	results := make([][]keyedCandidate, (len(pieces)+chunk-1)/chunk)
+	results := make([][]Keyed, (len(pieces)+chunk-1)/chunk)
 	for w := 0; w*chunk < len(pieces); w++ {
 		lo, hi := w*chunk, (w+1)*chunk
 		if hi > len(pieces) {
@@ -153,49 +184,82 @@ func extractParallel(l *layout.Layout, layer layout.Layer, spec Spec, req Requir
 		wg.Add(1)
 		go func(slot int, part []geom.Rect) {
 			defer wg.Done()
-			var cs []keyedCandidate
+			var cs []Keyed
 			for _, piece := range part {
 				at := geom.Pt(piece.X0, piece.Y0)
 				if MeetsRequirements(l, layer, spec, at, req) {
-					cs = append(cs, keyedCandidate{
-						c:   Candidate{At: at},
-						key: candidateKey(l, layer, spec, at, req),
-					})
+					cs = append(cs, Keyed{At: at, Key: KeyFor(l, layer, spec, at, req)})
 				}
 			}
 			results[slot] = cs
 		}(w, pieces[lo:hi])
 	}
 	wg.Wait()
-	seen := make(map[dedupKey]bool)
-	kept := 0
-	var out []Candidate
+	var kcs []Keyed
 	for _, cs := range results {
-		kept += len(cs)
-		for _, kc := range cs {
-			if !seen[kc.key] {
-				seen[kc.key] = true
-				out = append(out, kc.c)
-			}
-		}
+		kcs = append(kcs, cs...)
 	}
-	reg.Counter("clip.candidates_prededup").Add(int64(kept))
-	sortCandidates(out)
+	reg.Counter("clip.candidates_prededup").Add(int64(len(kcs)))
+	return anchorsOf(DedupCanonical(kcs))
+}
+
+// anchorsOf projects deduplicated keyed candidates onto plain candidates.
+func anchorsOf(kcs []Keyed) []Candidate {
+	if len(kcs) == 0 {
+		return nil
+	}
+	out := make([]Candidate, len(kcs))
+	for i, kc := range kcs {
+		out[i] = Candidate{At: kc.At}
+	}
 	return out
 }
 
-type keyedCandidate struct {
-	c   Candidate
-	key dedupKey
+// ExtractTile enumerates the qualifying keyed candidates whose dissection
+// anchors fall inside region (half-open on both axes), deduplicated
+// canonically within the region. Anchors are the same as a whole-layout
+// Extract would produce — dissection uses each rectangle's true extent, so
+// tiling never shifts the piece grid — and requirement checks query up to
+// spec.CoreSide+spec.Ambit() beyond the region; l must contain every
+// rectangle intersecting that halo for results to match the monolithic
+// path. Because DedupCanonical is associative, concatenating the per-tile
+// results of a partition of the layout bounds and deduplicating once more
+// reproduces Extract exactly.
+func ExtractTile(l *layout.Layout, layer layout.Layer, spec Spec, req Requirements, region geom.Rect) []Keyed {
+	var kcs []Keyed
+	for _, r := range l.Query(layer, region, nil) {
+		forEachAnchorIn(r, spec.CoreSide, region, func(at geom.Point) {
+			if MeetsRequirements(l, layer, spec, at, req) {
+				kcs = append(kcs, Keyed{At: at, Key: KeyFor(l, layer, spec, at, req)})
+			}
+		})
+	}
+	return DedupCanonical(kcs)
 }
 
-func sortCandidates(cs []Candidate) {
-	sort.Slice(cs, func(i, j int) bool {
-		if cs[i].At.Y != cs[j].At.Y {
-			return cs[i].At.Y < cs[j].At.Y
+// forEachAnchorIn visits the dissection anchors of r (the bottom-left
+// corners of its maxSide-bounded pieces, as appendDissected lays them out)
+// that fall inside region, without materializing pieces outside it.
+func forEachAnchorIn(r geom.Rect, maxSide geom.Coord, region geom.Rect, f func(geom.Point)) {
+	if maxSide <= 0 {
+		if region.Contains(geom.Pt(r.X0, r.Y0)) {
+			f(geom.Pt(r.X0, r.Y0))
 		}
-		return cs[i].At.X < cs[j].At.X
-	})
+		return
+	}
+	startAfter := func(r0, lo geom.Coord) geom.Coord {
+		if lo <= r0 {
+			return r0
+		}
+		// First anchor r0 + k*maxSide >= lo.
+		k := (int64(lo) - int64(r0) + int64(maxSide) - 1) / int64(maxSide)
+		return r0 + geom.Coord(k)*maxSide
+	}
+	for y := startAfter(r.Y0, region.Y0); y < r.Y1 && y < region.Y1; y += maxSide {
+		for x := startAfter(r.X0, region.X0); x < r.X1 && x < region.X1; x += maxSide {
+			f(geom.Pt(x, y))
+		}
+	}
 }
 
 // DissectLayer slices each geometry rectangle of the layer into pieces whose

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"hotspot/internal/clip"
+	"hotspot/internal/gds"
+	"hotspot/internal/geom"
+	"hotspot/internal/layout"
+	"hotspot/internal/obs"
+	"hotspot/internal/scan"
+)
+
+// ScanOptions parameterizes the tiled full-chip scan (ScanTiled and
+// friends). The zero value scans with defaults: automatic tile size, the
+// detector's configured worker count, no checkpoint.
+type ScanOptions struct {
+	// Tile is the tile side in dbu; 0 picks scan.DefaultTileFactor times
+	// the clip side. Must be at least the core side.
+	Tile geom.Coord
+	// Workers bounds the tile worker pool; 0 uses the detector's
+	// configured evaluation worker count.
+	Workers int
+	// Checkpoint, when non-empty, journals completed tiles to this file so
+	// an interrupted scan can resume.
+	Checkpoint string
+	// Resume replays a compatible existing checkpoint instead of
+	// rescanning its tiles.
+	Resume bool
+	// TileMemBytes is the per-tile memory budget (0 = default, negative =
+	// no adaptive splitting); see scan.Options.
+	TileMemBytes int64
+}
+
+// ScanStats reports a tiled scan's orchestration counters alongside the
+// Report (which carries the detection outcome).
+type ScanStats struct {
+	TilesTotal, TilesDone, TilesResumed, TilesSplit int
+}
+
+// ScanTiled evaluates a testing layout through the tiled scan pipeline.
+// The reported hotspot set is exactly Detect's — tiling, worker count, and
+// adaptive splitting never change the outcome, only the memory profile and
+// wall time — which is verified by TestScanTiledMatchesDetect.
+func (d *Detector) ScanTiled(l *layout.Layout, opts ScanOptions) (Report, error) {
+	rep, _, err := d.ScanTiledContext(context.Background(), l, opts)
+	return rep, err
+}
+
+// ScanTiledContext is ScanTiled with cooperative cancellation and scan
+// statistics. On cancellation the partial report is returned with the
+// context's error; tiles journaled before the interruption replay on the
+// next Resume run.
+func (d *Detector) ScanTiledContext(ctx context.Context, l *layout.Layout, opts ScanOptions) (Report, ScanStats, error) {
+	cfg := d.config()
+	src := scan.NewLayoutSource(l, cfg.Layer)
+	return d.scanWith(ctx, src, opts, cfg, func([]geom.Rect) (*layout.Layout, error) {
+		return l, nil
+	})
+}
+
+// ScanGDSContext scans a GDSII hierarchy without ever flattening the whole
+// chip: each tile flattens only the hierarchy subtrees overlapping its halo
+// window, and redundant clip removal runs on a support layout flattened
+// around the reported cores. The result matches flatten-then-Detect
+// exactly.
+func (d *Detector) ScanGDSContext(ctx context.Context, lib *gds.Library, top string, opts ScanOptions) (Report, ScanStats, error) {
+	cfg := d.config()
+	src, err := scan.NewGDSSource(lib, top)
+	if err != nil {
+		return Report{}, ScanStats{}, err
+	}
+	return d.scanWith(ctx, src, opts, cfg, func(cores []geom.Rect) (*layout.Layout, error) {
+		return gdsSupportLayout(lib, top, cores, cfg)
+	})
+}
+
+// scanWith runs the shared tiled-scan skeleton: configure scan.Run with
+// the detector's tile evaluator, then assemble a Report from the merged
+// candidates, running redundant clip removal against the layout produced
+// by support (the whole layout for in-memory scans, a windowed flatten
+// around the cores for GDS scans).
+func (d *Detector) scanWith(ctx context.Context, src scan.Source, opts ScanOptions, cfg Config, support func(cores []geom.Rect) (*layout.Layout, error)) (Report, ScanStats, error) {
+	start := time.Now()
+	var rep Report
+	var stats ScanStats
+	tel := &rep.Telemetry
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = cfg.Workers
+	}
+	sp := obs.Begin(tel, cfg.Obs, "scan.tiles")
+	res, err := scan.Run(ctx, src, scan.Options{
+		Spec:           cfg.Spec,
+		Layer:          cfg.Layer,
+		Req:            cfg.Requirements,
+		Tile:           opts.Tile,
+		Workers:        workers,
+		CheckpointPath: opts.Checkpoint,
+		Resume:         opts.Resume,
+		TileMemBytes:   opts.TileMemBytes,
+		Obs:            cfg.Obs,
+	}, d.tileEvaluator(cfg))
+	stats = ScanStats{
+		TilesTotal:   res.TilesTotal,
+		TilesDone:    res.TilesDone,
+		TilesResumed: res.TilesResumed,
+		TilesSplit:   res.TilesSplit,
+	}
+	sp.AddItems(int64(res.TilesDone))
+	sp.End()
+	tel.AddCounter("scan.tiles_total", int64(res.TilesTotal))
+	tel.AddCounter("scan.tiles_resumed", int64(res.TilesResumed))
+	tel.AddCounter("scan.tiles_split", int64(res.TilesSplit))
+
+	// Assemble the report even when err != nil: the partial candidates are
+	// the caller's progress picture, and the contract (like DetectContext's)
+	// is that a non-nil error means "incomplete".
+	rep.Candidates = len(res.Candidates)
+	var cores []geom.Rect
+	for _, c := range res.Candidates {
+		if !c.Flagged {
+			continue
+		}
+		rep.Flagged++
+		if c.Reclaimed {
+			rep.Reclaimed++
+			continue
+		}
+		cores = append(cores, cfg.Spec.CoreFor(c.At))
+	}
+	tel.AddCounter("detect.flagged", int64(rep.Flagged))
+	tel.AddCounter("detect.reclaimed", int64(rep.Reclaimed))
+	if err != nil {
+		rep.Hotspots = cores
+		rep.Runtime = time.Since(start)
+		cfg.Obs.Counter("detect.cancelled").Inc()
+		return rep, stats, err
+	}
+
+	if cfg.EnableRemoval {
+		sp = obs.Begin(tel, cfg.Obs, "detect.removal")
+		rl, err := support(cores)
+		if err != nil {
+			rep.Hotspots = cores
+			rep.Runtime = time.Since(start)
+			return rep, stats, err
+		}
+		before := len(cores)
+		cores = RemoveRedundant(cores, rl, cfg)
+		sp.AddItems(int64(before - len(cores)))
+		sp.End()
+	}
+	rep.Hotspots = cores
+	rep.Runtime = time.Since(start)
+	cfg.Obs.Counter("detect.runs").Inc()
+	cfg.Obs.Histogram("detect.seconds").Observe(rep.Runtime.Seconds())
+	return rep, stats, nil
+}
+
+// tileEvaluator returns the scan.TileFunc wrapping this detector: per-tile
+// clip extraction followed by chunked batch evaluation, exactly
+// DetectContext's evaluation loop. Intra-tile evaluation is serial —
+// parallelism lives at the tile level, where the work-stealing pool keeps
+// every worker busy without nesting thread pools.
+func (d *Detector) tileEvaluator(cfg Config) scan.TileFunc {
+	evalCfg := cfg
+	evalCfg.Workers = 1
+	return func(ctx context.Context, tl *layout.Layout, tile geom.Rect) ([]scan.Candidate, error) {
+		kcs := clip.ExtractTile(tl, cfg.Layer, cfg.Spec, cfg.Requirements, tile)
+		out := make([]scan.Candidate, 0, len(kcs))
+		for lo := 0; lo < len(kcs); lo += detectChunk {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			hi := min(lo+detectChunk, len(kcs))
+			chunk := kcs[lo:hi]
+			ps := make([]*clip.Pattern, len(chunk))
+			for i, kc := range chunk {
+				ps[i] = clip.FromLayout(tl, cfg.Layer, cfg.Spec, kc.At, 0)
+			}
+			vs := d.evalBatch(ps, evalCfg)
+			reclaimed := d.feedbackBatch(ps, vs, evalCfg)
+			for i := range vs {
+				out = append(out, scan.Candidate{
+					At:        chunk[i].At,
+					Key:       chunk[i].Key,
+					Flagged:   vs[i].flagged,
+					Reclaimed: vs[i].flagged && reclaimed[i],
+				})
+			}
+		}
+		return out, nil
+	}
+}
+
+// gdsSupportLayout flattens just enough of a GDSII hierarchy to support
+// redundant clip removal over the given cores: every removal query —
+// reframed cores (inside their merge group's bounding box) and
+// gravity-shift windows (cores expanded by the ambit) — falls inside the
+// union of the cores' ambit-expanded windows merged into disjoint regions,
+// so geometry is loaded and clipped per region with no double counting.
+func gdsSupportLayout(lib *gds.Library, top string, cores []geom.Rect, cfg Config) (*layout.Layout, error) {
+	l := layout.New(lib.Name + "/removal-support")
+	for _, w := range disjointWindows(cores, cfg.Spec.Ambit()) {
+		fps, err := lib.FlattenWindow(top, w)
+		if err != nil {
+			return nil, err
+		}
+		for _, fp := range fps {
+			rects, err := (geom.Polygon{Pts: fp.Pts}).Rects()
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range rects {
+				if c := r.Intersect(w); !c.Empty() {
+					l.AddRect(fp.Layer, c)
+				}
+			}
+		}
+	}
+	return l, nil
+}
+
+// disjointWindows expands each core by margin and merges overlapping
+// windows (to their union bounding box) until all are pairwise disjoint.
+// Merging guarantees every removal merge group — cores connected by
+// overlap — lies inside a single window, with its whole ambit-expanded
+// extent covered.
+func disjointWindows(cores []geom.Rect, margin geom.Coord) []geom.Rect {
+	ws := make([]geom.Rect, len(cores))
+	for i, c := range cores {
+		ws[i] = c.Expand(margin)
+	}
+	for {
+		merged := false
+		for i := 0; i < len(ws); i++ {
+			for j := i + 1; j < len(ws); j++ {
+				if ws[i].Overlaps(ws[j]) {
+					ws[i] = ws[i].Union(ws[j])
+					ws = append(ws[:j], ws[j+1:]...)
+					merged = true
+					j--
+				}
+			}
+		}
+		if !merged {
+			return ws
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package gds
+
+import (
+	"fmt"
+
+	"hotspot/internal/geom"
+)
+
+// BBox returns the bounding box of the named top structure's flattened
+// geometry, without flattening: structure extents are computed bottom-up
+// and memoized, so the cost is proportional to the hierarchy size, not the
+// instance count.
+func (l *Library) BBox(top string) (geom.Rect, error) {
+	s := l.Structure(top)
+	if s == nil {
+		return geom.Rect{}, fmt.Errorf("gds: structure %q not found", top)
+	}
+	return l.structBBox(s, make(map[string]geom.Rect), 0)
+}
+
+// FlattenWindow is Flatten restricted to a window: it resolves the same
+// hierarchy but emits only polygons whose bounding box overlaps window,
+// pruning whole subtrees (and individual array instances) whose transformed
+// extent misses it. Polygons are emitted whole, never clipped, so rectangle
+// decomposition downstream produces the same pieces — and therefore the
+// same dissection anchors — as a full Flatten would. This is what lets a
+// tiled scan load one halo window at a time with memory bounded by the
+// window's content rather than the chip's.
+func (l *Library) FlattenWindow(top string, window geom.Rect) ([]FlatPolygon, error) {
+	s := l.Structure(top)
+	if s == nil {
+		return nil, fmt.Errorf("gds: structure %q not found", top)
+	}
+	if window.Empty() {
+		return nil, nil
+	}
+	memo := make(map[string]geom.Rect)
+	var out []FlatPolygon
+	seen := make(map[string]bool)
+	err := l.flattenWindowInto(s, identityXform(), window, &out, seen, memo, 0)
+	return out, err
+}
+
+// structBBox computes (and memoizes) a structure's untransformed extent:
+// its own boundaries and paths plus the transformed extents of every
+// reference.
+func (l *Library) structBBox(s *Structure, memo map[string]geom.Rect, depth int) (geom.Rect, error) {
+	if bb, ok := memo[s.Name]; ok {
+		return bb, nil
+	}
+	if depth > maxDepth {
+		return geom.Rect{}, fmt.Errorf("gds: reference depth exceeds %d (cycle?)", maxDepth)
+	}
+	var bb geom.Rect
+	first := true
+	add := func(r geom.Rect) {
+		if first {
+			bb, first = r, false
+		} else {
+			bb = bb.Union(r)
+		}
+	}
+	for _, b := range s.Boundaries {
+		add(ptsBBox(b.Pts))
+	}
+	for _, p := range s.Paths {
+		rects, err := SegmentRects(p)
+		if err != nil {
+			return geom.Rect{}, err
+		}
+		for _, r := range rects {
+			add(r)
+		}
+	}
+	for _, r := range s.SRefs {
+		child := l.Structure(r.Name)
+		if child == nil {
+			return geom.Rect{}, fmt.Errorf("gds: sref to missing structure %q", r.Name)
+		}
+		cb, err := l.structBBox(child, memo, depth+1)
+		if err != nil {
+			return geom.Rect{}, err
+		}
+		rot, err := quarterTurns(r.AngleCCW)
+		if err != nil {
+			return geom.Rect{}, err
+		}
+		add(xform{reflect: r.Reflect, rot: rot, dx: r.Origin.X, dy: r.Origin.Y}.applyRect(cb))
+	}
+	for _, r := range s.ARefs {
+		child := l.Structure(r.Name)
+		if child == nil {
+			return geom.Rect{}, fmt.Errorf("gds: aref to missing structure %q", r.Name)
+		}
+		cb, err := l.structBBox(child, memo, depth+1)
+		if err != nil {
+			return geom.Rect{}, err
+		}
+		rot, err := quarterTurns(r.AngleCCW)
+		if err != nil {
+			return geom.Rect{}, err
+		}
+		if r.Cols <= 0 || r.Rows <= 0 {
+			return geom.Rect{}, fmt.Errorf("gds: aref to %q with %dx%d grid", r.Name, r.Cols, r.Rows)
+		}
+		// Instance offsets are affine in (col, row), so the array extent is
+		// the union over the four corner instances.
+		for _, c := range []int{0, int(r.Cols) - 1} {
+			for _, rw := range []int{0, int(r.Rows) - 1} {
+				dx, dy := arefOffset(r, c, rw)
+				add(xform{reflect: r.Reflect, rot: rot, dx: dx, dy: dy}.applyRect(cb))
+			}
+		}
+	}
+	if first {
+		bb = geom.Rect{} // empty structure
+	}
+	memo[s.Name] = bb
+	return bb, nil
+}
+
+func (l *Library) flattenWindowInto(s *Structure, t xform, window geom.Rect, out *[]FlatPolygon, seen map[string]bool, memo map[string]geom.Rect, depth int) error {
+	if depth > maxDepth {
+		return fmt.Errorf("gds: reference depth exceeds %d (cycle?)", maxDepth)
+	}
+	if seen[s.Name] {
+		return fmt.Errorf("gds: reference cycle through %q", s.Name)
+	}
+	seen[s.Name] = true
+	defer delete(seen, s.Name)
+
+	for _, b := range s.Boundaries {
+		if !t.applyRect(ptsBBox(b.Pts)).Overlaps(window) {
+			continue
+		}
+		pts := make([]geom.Point, len(b.Pts))
+		for i, p := range b.Pts {
+			pts[i] = t.apply(p)
+		}
+		*out = append(*out, FlatPolygon{Layer: b.Layer, Pts: pts})
+	}
+	for _, p := range s.Paths {
+		rects, err := SegmentRects(p)
+		if err != nil {
+			return err
+		}
+		overlaps := false
+		for _, r := range rects {
+			if t.applyRect(r).Overlaps(window) {
+				overlaps = true
+				break
+			}
+		}
+		if !overlaps {
+			continue
+		}
+		poly, err := PathToPolygon(p)
+		if err != nil {
+			return err
+		}
+		pts := make([]geom.Point, len(poly))
+		for i, q := range poly {
+			pts[i] = t.apply(q)
+		}
+		*out = append(*out, FlatPolygon{Layer: p.Layer, Pts: pts})
+	}
+	for _, r := range s.SRefs {
+		child := l.Structure(r.Name)
+		if child == nil {
+			return fmt.Errorf("gds: sref to missing structure %q", r.Name)
+		}
+		cb, err := l.structBBox(child, memo, depth+1)
+		if err != nil {
+			return err
+		}
+		rot, err := quarterTurns(r.AngleCCW)
+		if err != nil {
+			return err
+		}
+		ct := t.compose(xform{reflect: r.Reflect, rot: rot, dx: r.Origin.X, dy: r.Origin.Y})
+		if !ct.applyRect(cb).Overlaps(window) {
+			continue
+		}
+		if err := l.flattenWindowInto(child, ct, window, out, seen, memo, depth+1); err != nil {
+			return err
+		}
+	}
+	for _, r := range s.ARefs {
+		child := l.Structure(r.Name)
+		if child == nil {
+			return fmt.Errorf("gds: aref to missing structure %q", r.Name)
+		}
+		if r.Cols <= 0 || r.Rows <= 0 {
+			return fmt.Errorf("gds: aref to %q with %dx%d grid", r.Name, r.Cols, r.Rows)
+		}
+		cb, err := l.structBBox(child, memo, depth+1)
+		if err != nil {
+			return err
+		}
+		rot, err := quarterTurns(r.AngleCCW)
+		if err != nil {
+			return err
+		}
+		// Whole-array short-circuit: instance offsets are affine in
+		// (col, row), so the union of the four corner-instance extents
+		// contains every instance. If that union misses the window, skip the
+		// per-instance sweep entirely.
+		arrayBB := geom.Rect{}
+		firstCorner := true
+		for _, c := range []int{0, int(r.Cols) - 1} {
+			for _, rw := range []int{0, int(r.Rows) - 1} {
+				dx, dy := arefOffset(r, c, rw)
+				inst := t.compose(xform{reflect: r.Reflect, rot: rot, dx: dx, dy: dy}).applyRect(cb)
+				if firstCorner {
+					arrayBB, firstCorner = inst, false
+				} else {
+					arrayBB = arrayBB.Union(inst)
+				}
+			}
+		}
+		if !arrayBB.Overlaps(window) {
+			continue
+		}
+		for c := 0; c < int(r.Cols); c++ {
+			for rw := 0; rw < int(r.Rows); rw++ {
+				dx, dy := arefOffset(r, c, rw)
+				ct := t.compose(xform{reflect: r.Reflect, rot: rot, dx: dx, dy: dy})
+				if !ct.applyRect(cb).Overlaps(window) {
+					continue
+				}
+				if err := l.flattenWindowInto(child, ct, window, out, seen, memo, depth+1); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// arefOffset returns the placement offset of array instance (c, rw),
+// matching flattenInto's stepping exactly.
+func arefOffset(r ARef, c, rw int) (dx, dy geom.Coord) {
+	dx = r.Origin.X + geom.Coord(c)*(r.ColVec.X/geom.Coord(r.Cols)) + geom.Coord(rw)*(r.RowVec.X/geom.Coord(r.Rows))
+	dy = r.Origin.Y + geom.Coord(c)*(r.ColVec.Y/geom.Coord(r.Cols)) + geom.Coord(rw)*(r.RowVec.Y/geom.Coord(r.Rows))
+	return dx, dy
+}
+
+// applyRect transforms an axis-aligned rectangle and returns its
+// (normalized) axis-aligned image — exact for the 90-degree transforms GDS
+// placement uses.
+func (t xform) applyRect(r geom.Rect) geom.Rect {
+	a := t.apply(geom.Point{X: r.X0, Y: r.Y0})
+	b := t.apply(geom.Point{X: r.X1, Y: r.Y1})
+	if a.X > b.X {
+		a.X, b.X = b.X, a.X
+	}
+	if a.Y > b.Y {
+		a.Y, b.Y = b.Y, a.Y
+	}
+	return geom.Rect{X0: a.X, Y0: a.Y, X1: b.X, Y1: b.Y}
+}
+
+func ptsBBox(pts []geom.Point) geom.Rect {
+	if len(pts) == 0 {
+		return geom.Rect{}
+	}
+	bb := geom.Rect{X0: pts[0].X, Y0: pts[0].Y, X1: pts[0].X, Y1: pts[0].Y}
+	for _, p := range pts[1:] {
+		if p.X < bb.X0 {
+			bb.X0 = p.X
+		}
+		if p.X > bb.X1 {
+			bb.X1 = p.X
+		}
+		if p.Y < bb.Y0 {
+			bb.Y0 = p.Y
+		}
+		if p.Y > bb.Y1 {
+			bb.Y1 = p.Y
+		}
+	}
+	return bb
+}

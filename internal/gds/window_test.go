@@ -1,0 +1,162 @@
+package gds
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"hotspot/internal/geom"
+)
+
+// hierLib builds a three-level hierarchy exercising SRefs with rotation and
+// reflection plus a 4x3 ARef grid.
+func hierLib() *Library {
+	unit := &Structure{
+		Name: "unit",
+		Boundaries: []Boundary{{
+			Layer: 1,
+			Pts:   []geom.Point{{X: 0, Y: 0}, {X: 400, Y: 0}, {X: 400, Y: 100}, {X: 0, Y: 100}},
+		}},
+		Paths: []Path{{
+			Layer: 1, Width: 80,
+			Pts: []geom.Point{{X: 0, Y: 300}, {X: 400, Y: 300}},
+		}},
+	}
+	pair := &Structure{
+		Name: "pair",
+		SRefs: []SRef{
+			{Name: "unit", Origin: geom.Point{X: 0, Y: 0}},
+			{Name: "unit", Origin: geom.Point{X: 1000, Y: 600}, AngleCCW: 90},
+			{Name: "unit", Origin: geom.Point{X: 0, Y: 1400}, Reflect: true},
+		},
+	}
+	top := &Structure{
+		Name: "top",
+		Boundaries: []Boundary{{
+			Layer: 1,
+			Pts:   []geom.Point{{X: -500, Y: -500}, {X: -100, Y: -500}, {X: -100, Y: -100}, {X: -500, Y: -100}},
+		}},
+		ARefs: []ARef{{
+			Name: "pair", Cols: 4, Rows: 3,
+			Origin: geom.Point{X: 0, Y: 0},
+			ColVec: geom.Point{X: 4 * 3000, Y: 0},
+			RowVec: geom.Point{X: 0, Y: 3 * 2500},
+		}},
+		SRefs: []SRef{{Name: "pair", Origin: geom.Point{X: 20000, Y: 0}, AngleCCW: 180}},
+	}
+	return &Library{Name: "hier", Structures: []*Structure{unit, pair, top}}
+}
+
+func polyKey(fp FlatPolygon) string {
+	b := make([]byte, 0, 64)
+	b = append(b, byte(fp.Layer))
+	for _, p := range fp.Pts {
+		b = append(b, byte(p.X), byte(p.X>>8), byte(p.X>>16), byte(p.X>>24))
+		b = append(b, byte(p.Y), byte(p.Y>>8), byte(p.Y>>16), byte(p.Y>>24))
+	}
+	return string(b)
+}
+
+func sortedKeys(fps []FlatPolygon) []string {
+	keys := make([]string, len(fps))
+	for i, fp := range fps {
+		keys[i] = polyKey(fp)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func TestFlattenWindowFullWindowMatchesFlatten(t *testing.T) {
+	lib := hierLib()
+	full, err := lib.Flatten("top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := lib.BBox("top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lib.FlattenWindow("top", bb.Expand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sortedKeys(got), sortedKeys(full)) {
+		t.Fatalf("full-window flatten: %d polygons, want %d (sets differ)", len(got), len(full))
+	}
+}
+
+func TestFlattenWindowSubset(t *testing.T) {
+	lib := hierLib()
+	full, err := lib.Flatten("top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := geom.Rect{X0: 2500, Y0: 2000, X1: 7000, Y1: 5500}
+	got, err := lib.FlattenWindow("top", window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || len(got) >= len(full) {
+		t.Fatalf("window flatten returned %d of %d polygons; want a strict non-empty subset", len(got), len(full))
+	}
+	// Soundness: every full polygon overlapping the window must be present,
+	// and present polygons must be emitted whole (identical vertices).
+	fullSet := map[string]bool{}
+	for _, fp := range full {
+		fullSet[polyKey(fp)] = true
+	}
+	gotSet := map[string]bool{}
+	for _, fp := range got {
+		k := polyKey(fp)
+		if !fullSet[k] {
+			t.Fatalf("window flatten emitted polygon absent from full flatten: %+v", fp)
+		}
+		gotSet[k] = true
+	}
+	for _, fp := range full {
+		if ptsBBox(fp.Pts).Overlaps(window) && !gotSet[polyKey(fp)] {
+			t.Fatalf("window flatten missed overlapping polygon %+v", fp)
+		}
+	}
+}
+
+func TestFlattenWindowEmptyAndMiss(t *testing.T) {
+	lib := hierLib()
+	if got, err := lib.FlattenWindow("top", geom.Rect{}); err != nil || got != nil {
+		t.Fatalf("empty window: got %v, %v", got, err)
+	}
+	got, err := lib.FlattenWindow("top", geom.Rect{X0: 900000, Y0: 900000, X1: 901000, Y1: 901000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("far-away window returned %d polygons", len(got))
+	}
+}
+
+func TestBBoxMatchesFlattenedExtent(t *testing.T) {
+	lib := hierLib()
+	full, err := lib.Flatten("top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want geom.Rect
+	for i, fp := range full {
+		bb := ptsBBox(fp.Pts)
+		if i == 0 {
+			want = bb
+		} else {
+			want = want.Union(bb)
+		}
+	}
+	got, err := lib.BBox("top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("BBox = %v, want %v", got, want)
+	}
+	if _, err := lib.BBox("nope"); err == nil {
+		t.Fatal("BBox of missing structure should fail")
+	}
+}

@@ -1,0 +1,190 @@
+package scan
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"sync"
+
+	"hotspot/internal/geom"
+)
+
+// ErrCheckpointMismatch reports a resume attempt against a checkpoint
+// written for a different layout, tiling, or requirement set.
+var ErrCheckpointMismatch = errors.New("scan: checkpoint does not match this scan (layout, tiling, or requirements changed)")
+
+// journalVersion is bumped whenever the line format changes; a version
+// mismatch is treated like a fingerprint mismatch.
+const journalVersion = 1
+
+// header is the journal's first line: enough identity to refuse resuming
+// a scan whose inputs changed.
+type header struct {
+	Version     int    `json:"v"`
+	Fingerprint uint64 `json:"fp"`
+}
+
+// entry is one completed tile: its rectangle (the tile's identity, stable
+// across runs because partitioning and splitting are deterministic) and
+// its evaluated candidates.
+type entry struct {
+	Tile  geom.Rect   `json:"tile"`
+	Cands []Candidate `json:"cands"`
+}
+
+// journal is the append-only checkpoint: one JSON line per completed tile
+// after a header line. Lines are flushed as they are written, so a killed
+// scan loses at most the tile lines still being evaluated; a torn final
+// line (the write the crash interrupted) is detected on resume and
+// truncated away.
+type journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	done map[geom.Rect][]Candidate
+}
+
+// fingerprint hashes everything that must be identical for journaled tile
+// results to remain valid: the source's identity stamp and the scan
+// geometry, filters, and tiling parameters. Worker count and checkpoint
+// path are deliberately excluded — they do not affect per-tile results.
+func fingerprint(src Source, opts Options) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%v|%d|%+v|%+v|%d|%d",
+		src.Stamp(), src.Bounds(), opts.Layer, opts.Spec, opts.Req, opts.Tile, opts.TileMemBytes)
+	return h.Sum64()
+}
+
+// openJournal opens (or creates) the checkpoint at path. With resume set
+// and an existing compatible journal, completed tiles are loaded for
+// replay and the file is reopened for appending; an incompatible journal
+// yields ErrCheckpointMismatch. Without resume the file is recreated.
+func openJournal(path string, fp uint64, resume bool) (*journal, error) {
+	jn := &journal{done: map[geom.Rect][]Candidate{}}
+	if resume {
+		if err := jn.load(path, fp); err != nil {
+			return nil, err
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY
+	if len(jn.done) > 0 {
+		flags |= os.O_APPEND
+	} else {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("scan: opening checkpoint: %w", err)
+	}
+	jn.f = f
+	jn.w = bufio.NewWriter(f)
+	if len(jn.done) == 0 {
+		if err := jn.writeLine(header{Version: journalVersion, Fingerprint: fp}); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return jn, nil
+}
+
+// load reads an existing journal, verifying the header and collecting
+// completed tiles. A torn trailing line is truncated so appending resumes
+// on a clean line boundary. A missing file is not an error: the scan
+// simply starts fresh.
+func (jn *journal) load(path string, fp uint64) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("scan: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+
+	r := bufio.NewReader(f)
+	var hdr header
+	good, line, err := readLine(r, &hdr)
+	if err != nil || !good {
+		return ErrCheckpointMismatch
+	}
+	if hdr.Version != journalVersion || hdr.Fingerprint != fp {
+		return ErrCheckpointMismatch
+	}
+	offset := line
+	for {
+		var e entry
+		good, n, err := readLine(r, &e)
+		if err != nil {
+			return fmt.Errorf("scan: reading checkpoint: %w", err)
+		}
+		if !good {
+			break // torn or absent trailing line
+		}
+		offset += n
+		jn.done[e.Tile] = e.Cands
+	}
+	if err := os.Truncate(path, offset); err != nil {
+		return fmt.Errorf("scan: truncating torn checkpoint tail: %w", err)
+	}
+	return nil
+}
+
+// readLine reads one newline-terminated JSON line into v. good is false —
+// with a nil error — when the stream ends or the line is torn (no
+// trailing newline or undecodable JSON), the signal to stop replaying.
+func readLine(r *bufio.Reader, v any) (good bool, n int64, err error) {
+	line, err := r.ReadBytes('\n')
+	n = int64(len(line))
+	if errors.Is(err, io.EOF) {
+		return false, n, nil // torn tail: no terminating newline
+	}
+	if err != nil {
+		return false, n, err
+	}
+	if json.Unmarshal(line, v) != nil {
+		return false, n, nil // torn tail: interleaved or cut write
+	}
+	return true, n, nil
+}
+
+// replay returns the journaled candidates of a completed tile.
+func (jn *journal) replay(tile geom.Rect) ([]Candidate, bool) {
+	jn.mu.Lock()
+	defer jn.mu.Unlock()
+	cands, ok := jn.done[tile]
+	return cands, ok
+}
+
+// append journals one completed tile and flushes it to the OS, so the
+// entry survives the process being killed.
+func (jn *journal) append(tile geom.Rect, cands []Candidate) error {
+	return jn.writeLine(entry{Tile: tile, Cands: cands})
+}
+
+func (jn *journal) writeLine(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("scan: encoding checkpoint line: %w", err)
+	}
+	b = append(b, '\n')
+	jn.mu.Lock()
+	defer jn.mu.Unlock()
+	if _, err := jn.w.Write(b); err != nil {
+		return fmt.Errorf("scan: writing checkpoint: %w", err)
+	}
+	if err := jn.w.Flush(); err != nil {
+		return fmt.Errorf("scan: flushing checkpoint: %w", err)
+	}
+	return nil
+}
+
+func (jn *journal) close() {
+	jn.mu.Lock()
+	defer jn.mu.Unlock()
+	jn.w.Flush() //nolint:errcheck // best effort: every append already flushed
+	jn.f.Close() //nolint:errcheck
+}

@@ -1,0 +1,112 @@
+package scan
+
+import (
+	"sync"
+
+	"hotspot/internal/geom"
+)
+
+// stealPool is the tile scheduler: one double-ended queue per worker,
+// seeded round-robin. A worker pops fresh tiles from the bottom of its own
+// deque (LIFO keeps just-split quadrants hot in cache) and, when it runs
+// dry, steals the oldest tile from the top of the fullest sibling deque
+// (FIFO stealing takes the coarsest work, the classic work-stealing
+// discipline). A single mutex guards all deques — tiles take milliseconds
+// to evaluate, so scheduler contention is noise — with a condition
+// variable parking idle workers until a split enqueues new work or the
+// scan drains.
+type stealPool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	deques  [][]geom.Rect
+	pending int // tiles enqueued or in flight; 0 means the scan is drained
+	stopped bool
+}
+
+// newStealPool seeds a pool of n workers (minimum 1) with the initial
+// tiles, distributed round-robin so the static split is balanced before
+// stealing begins.
+func newStealPool(n int, tiles []geom.Rect) *stealPool {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(tiles) && len(tiles) > 0 {
+		n = len(tiles)
+	}
+	p := &stealPool{deques: make([][]geom.Rect, n), pending: len(tiles)}
+	p.cond = sync.NewCond(&p.mu)
+	for i, t := range tiles {
+		w := i % n
+		p.deques[w] = append(p.deques[w], t)
+	}
+	return p
+}
+
+func (p *stealPool) workers() int { return len(p.deques) }
+
+// push enqueues a tile on worker w's own deque (used by adaptive splits).
+// The caller must currently hold a tile from get — push never resurrects a
+// drained pool.
+func (p *stealPool) push(w int, t geom.Rect) {
+	p.mu.Lock()
+	p.deques[w] = append(p.deques[w], t)
+	p.pending++
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// get returns the next tile for worker w, blocking while other workers
+// still hold tiles that might split into new work. It returns ok=false
+// when the pool is drained (pending reached zero) or stopped.
+func (p *stealPool) get(w int) (geom.Rect, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.stopped {
+			return geom.Rect{}, false
+		}
+		if n := len(p.deques[w]); n > 0 {
+			t := p.deques[w][n-1]
+			p.deques[w] = p.deques[w][:n-1]
+			return t, true
+		}
+		// Steal the oldest tile from the fullest sibling.
+		victim := -1
+		for i, d := range p.deques {
+			if i != w && len(d) > 0 && (victim < 0 || len(d) > len(p.deques[victim])) {
+				victim = i
+			}
+		}
+		if victim >= 0 {
+			t := p.deques[victim][0]
+			p.deques[victim] = p.deques[victim][1:]
+			return t, true
+		}
+		if p.pending == 0 {
+			return geom.Rect{}, false
+		}
+		p.cond.Wait()
+	}
+}
+
+// finish marks one tile obtained from get as fully handled (evaluated,
+// replayed, or split with its quadrants pushed). When the last tile
+// finishes, parked workers are released.
+func (p *stealPool) finish() {
+	p.mu.Lock()
+	p.pending--
+	done := p.pending == 0
+	p.mu.Unlock()
+	if done {
+		p.cond.Broadcast()
+	}
+}
+
+// stop aborts the scan: parked and future get calls return ok=false.
+// In-flight tiles finish on their own.
+func (p *stealPool) stop() {
+	p.mu.Lock()
+	p.stopped = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}

@@ -1,0 +1,53 @@
+package scan
+
+import (
+	"hotspot/internal/geom"
+)
+
+// tilesOver partitions bounds into a grid of side-by-side tiles of the
+// given side (edge tiles are clipped to the bounds). Tiles are half-open
+// on both axes, so every dissection anchor — which always lies strictly
+// inside the bounds on its low sides — belongs to exactly one tile.
+func tilesOver(bounds geom.Rect, side geom.Coord) []geom.Rect {
+	if bounds.Empty() {
+		return nil
+	}
+	var out []geom.Rect
+	for y := bounds.Y0; y < bounds.Y1; y += side {
+		y1 := min(y+side, bounds.Y1)
+		for x := bounds.X0; x < bounds.X1; x += side {
+			out = append(out, geom.Rect{X0: x, Y0: y, X1: min(x+side, bounds.X1), Y1: y1})
+		}
+	}
+	return out
+}
+
+// quadrants splits a tile at its midpoints into up to four half-open
+// children, or returns nil when any resulting side would drop below
+// minSide (the tile is then too small to split safely). Degenerate
+// children (a tile only one cell wide splits into two, not four) are
+// omitted.
+func quadrants(t geom.Rect, minSide geom.Coord) []geom.Rect {
+	mx := t.X0 + t.W()/2
+	my := t.Y0 + t.H()/2
+	splitX := mx-t.X0 >= minSide && t.X1-mx >= minSide
+	splitY := my-t.Y0 >= minSide && t.Y1-my >= minSide
+	if !splitX && !splitY {
+		return nil
+	}
+	xs := []geom.Coord{t.X0, t.X1}
+	if splitX {
+		xs = []geom.Coord{t.X0, mx, t.X1}
+	}
+	ys := []geom.Coord{t.Y0, t.Y1}
+	if splitY {
+		ys = []geom.Coord{t.Y0, my, t.Y1}
+	}
+	var out []geom.Rect
+	for yi := 0; yi+1 < len(ys); yi++ {
+		for xi := 0; xi+1 < len(xs); xi++ {
+			out = append(out, geom.Rect{X0: xs[xi], Y0: ys[yi], X1: xs[xi+1], Y1: ys[yi+1]})
+		}
+	}
+	return out
+}

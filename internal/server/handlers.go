@@ -32,16 +32,26 @@ type detectResponse struct {
 // scanRequest is the POST /v1/scan body: a rectangle soup forming the
 // layout window to scan. Layer defaults to the layer the served model was
 // trained on. Rects use the clip-set packing [x0,y0,x1,y1] in dbu.
+//
+// Tiled selects the pipeline explicitly: absent, the server picks tiled
+// scanning automatically when the layout reaches Config.TiledScanRects
+// rectangles. Tile overrides the tile side (dbu) for tiled scans.
 type scanRequest struct {
 	Name  string          `json:"name,omitempty"`
 	Layer *layout.Layer   `json:"layer,omitempty"`
 	Rects [][4]geom.Coord `json:"rects"`
+	Tiled *bool           `json:"tiled,omitempty"`
+	Tile  geom.Coord      `json:"tile,omitempty"`
 }
 
 // scanResponse wraps the detection report with the scanned geometry size.
+// Tiled reports which pipeline ran; Tiles carries the tile counters of a
+// tiled run (absent otherwise).
 type scanResponse struct {
-	Rects  int         `json:"rects"`
-	Report core.Report `json:"report"`
+	Rects  int             `json:"rects"`
+	Report core.Report     `json:"report"`
+	Tiled  bool            `json:"tiled,omitempty"`
+	Tiles  *core.ScanStats `json:"tiles,omitempty"`
 }
 
 // reloadRequest optionally overrides the model path to load; empty falls
@@ -197,12 +207,28 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	rep, err := det.DetectContext(ctx, l)
+	tiled := s.cfg.TiledScanRects > 0 && l.NumRects() >= s.cfg.TiledScanRects
+	if req.Tiled != nil {
+		tiled = *req.Tiled
+	}
+	resp := scanResponse{Rects: l.NumRects(), Tiled: tiled}
+	var err error
+	if tiled {
+		var stats core.ScanStats
+		resp.Report, stats, err = det.ScanTiledContext(ctx, l, core.ScanOptions{Tile: req.Tile})
+		resp.Tiles = &stats
+	} else {
+		resp.Report, err = det.DetectContext(ctx, l)
+	}
 	if err != nil {
-		writeCtxError(w, err)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			writeCtxError(w, err)
+		} else {
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
 		return
 	}
-	writeJSON(w, http.StatusOK, scanResponse{Rects: l.NumRects(), Report: rep})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleReload swaps in a freshly loaded model without dropping traffic:

@@ -69,6 +69,13 @@ type Config struct {
 	// ScanConcurrency bounds concurrent /v1/scan evaluations, which each
 	// own a full detection pipeline run (default 2; excess gets 429).
 	ScanConcurrency int
+	// TiledScanRects is the rectangle count at which /v1/scan routes a
+	// posted layout through the tiled scan pipeline (bounded memory,
+	// work-stealing tile workers) instead of the monolithic detect path.
+	// Default 250000; negative disables automatic routing (clients can
+	// still request tiling explicitly). Progress is visible while a scan
+	// runs as the scan.tiles_done counter under /debug/vars.
+	TiledScanRects int
 
 	// Obs receives the server's HTTP and queue metrics and is wired into
 	// the served detector. nil allocates a fresh registry so /debug/vars
@@ -109,6 +116,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ScanConcurrency <= 0 {
 		c.ScanConcurrency = 2
+	}
+	if c.TiledScanRects == 0 {
+		c.TiledScanRects = 250_000
 	}
 	if c.Obs == nil {
 		c.Obs = obs.NewRegistry()

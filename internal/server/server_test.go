@@ -444,6 +444,55 @@ func TestScanEndpoint(t *testing.T) {
 	}
 }
 
+// TestScanEndpointTiled forces the tiled pipeline and requires the same
+// detection outcome as the monolithic path, plus live tile counters in the
+// metrics registry (the /debug/vars progress signal).
+func TestScanEndpointTiled(t *testing.T) {
+	b, det := fixture(t)
+	s := testServer(t, nil, Config{RequestTimeout: 10 * time.Minute})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	layer := b.Layer
+	req := scanRequest{Name: "scan_test", Layer: &layer, Tiled: boolPtr(true), Tile: 16000}
+	for _, r := range b.Test.Rects(layer) {
+		req.Rects = append(req.Rects, [4]geom.Coord{r.X0, r.Y0, r.X1, r.Y1})
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(req); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, data := postJSON(t, ts.URL+"/v1/scan", &buf)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var sr scanResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatalf("decoding scan response: %v", err)
+	}
+	if !sr.Tiled || sr.Tiles == nil || sr.Tiles.TilesDone == 0 {
+		t.Fatalf("tiled scan metadata missing: tiled=%v tiles=%+v", sr.Tiled, sr.Tiles)
+	}
+	want := det.Detect(b.Test)
+	if sr.Report.Candidates != want.Candidates {
+		t.Fatalf("candidates %d, want %d", sr.Report.Candidates, want.Candidates)
+	}
+	if len(sr.Report.Hotspots) != len(want.Hotspots) {
+		t.Fatalf("hotspots %d, want %d", len(sr.Report.Hotspots), len(want.Hotspots))
+	}
+	for i := range sr.Report.Hotspots {
+		if sr.Report.Hotspots[i] != want.Hotspots[i] {
+			t.Fatalf("hotspot %d = %v, want %v", i, sr.Report.Hotspots[i], want.Hotspots[i])
+		}
+	}
+	if s.reg.Counter("scan.tiles_done").Value() == 0 {
+		t.Fatal("scan.tiles_done counter not incremented (expvar progress signal dead)")
+	}
+}
+
+func boolPtr(b bool) *bool { return &b }
+
 func TestScanDeadline(t *testing.T) {
 	b, _ := fixture(t)
 	s := testServer(t, nil, Config{})

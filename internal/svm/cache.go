@@ -15,9 +15,9 @@ const DefaultCacheBytes = 64 << 20
 // kernelCache serves kernel matrix rows on demand, keeping the most
 // recently used rows within a byte budget. Rows are computed from the flat
 // training matrix with cached norms (one dot product per entry). Eviction
-// unlinks the least recently used row so its backing array is collectable
-// — unlike the previous FIFO, whose order-queue re-slicing retained every
-// evicted row's backing memory for the life of the solver.
+// unlinks the least recently used row entirely — no auxiliary structure
+// keeps a reference — so its backing array is collectable immediately and
+// the cache's live memory never exceeds the budget.
 type kernelCache struct {
 	flat  []float64
 	norms []float64
