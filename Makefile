@@ -5,7 +5,7 @@ GOVULNCHECK ?= govulncheck
 COVERPROFILE ?= cover.out
 BENCHCOUNT ?= 5
 
-.PHONY: all build vet test test-race fuzz bench bench-svm bench-svm-json bench-scan docs-check check lint cover cover-check
+.PHONY: all build vet test test-race test-shuffle fuzz bench bench-svm bench-svm-json bench-scan bench-train docs-check check lint cover cover-check
 
 all: check
 
@@ -22,6 +22,12 @@ test:
 # (well past go test's default 10m per-package timeout under -race).
 test-race:
 	$(GO) test -race -timeout 45m ./...
+
+# Order-independence pass: shuffle test execution order and run everything
+# twice, flushing out inter-test state leaks and one-shot fixtures that
+# only pass in file order.
+test-shuffle:
+	$(GO) test -shuffle=on -count=2 -timeout 30m ./...
 
 # Short coverage-guided fuzz smoke on both targets (seeds always run as
 # part of `make test`; this explores beyond them).
@@ -51,6 +57,14 @@ bench-svm-json:
 bench-scan:
 	$(GO) test -run='^$$' -bench='BenchmarkScanTiled' -benchtime=2x \
 		-count=$(BENCHCOUNT) -timeout 40m ./internal/core/
+
+# Cross-validated model-selection benchmarks (full per-group search on the
+# committed train fixture corpus, all-CPU vs serial). The committed
+# benchstat baseline is bench-train-baseline.txt; refresh it from a quiet
+# machine when the numbers move for a good reason.
+bench-train:
+	$(GO) test -run='^$$' -bench='BenchmarkCrossValidate' \
+		-count=$(BENCHCOUNT) -timeout 30m ./internal/train/
 
 # Markdown documentation lint: relative links + anchors resolve, curated
 # misspelling list (cmd/docscheck, no external tools).

@@ -17,6 +17,7 @@ import (
 	"hotspot/internal/layout"
 	"hotspot/internal/obs"
 	"hotspot/internal/server"
+	"hotspot/internal/train"
 )
 
 // Geometry types.
@@ -89,6 +90,43 @@ func Train(train []*Pattern, cfg Config) (*Detector, error) {
 
 // LoadModel restores a detector saved with Detector.Save.
 func LoadModel(r io.Reader) (*Detector, error) { return core.Load(r) }
+
+// Model-selection types. TrainCV replaces the fixed §V hyperparameters
+// with a per-topology-group cross-validated search: stratified k-fold CV
+// over a (C, gamma, tolerance) grid with successive-halving pruning,
+// fanned out across (group, fold, candidate) on a bounded worker pool.
+// Results are deterministic for a fixed seed at any worker count, and the
+// selection provenance is persisted inside the model artifact (see
+// README, "Training & model selection").
+type (
+	// CVOptions parameterizes the search (folds, seed, workers, grid);
+	// its zero value selects 4 folds, the default grid, and one worker
+	// per CPU.
+	CVOptions = train.Options
+	// CVGrid is the searched hyperparameter lattice.
+	CVGrid = train.Grid
+	// CVResult is the search outcome: per-group winners, every trial's
+	// metrics, and the final trained Detector.
+	CVResult = train.Result
+	// GroupParams is one topology group's hyperparameter override
+	// (Config.GroupParams).
+	GroupParams = core.GroupParams
+	// Selection is the provenance header a cross-validated model carries
+	// (Detector.Selection()): seed, grid, fold scores, per-group winners.
+	Selection = core.Selection
+)
+
+// DefaultCVGrid returns the built-in search lattice: four decades of C
+// and gamma around the paper's (1000, 0.01) seed.
+func DefaultCVGrid() CVGrid { return train.DefaultGrid() }
+
+// TrainCV builds a detector from a labelled training clip set with
+// cross-validated per-group hyperparameter selection. The returned
+// result carries the final detector (CVResult.Detector) plus the full
+// per-group search record.
+func TrainCV(patterns []*Pattern, cfg Config, opts CVOptions) (*CVResult, error) {
+	return train.CrossValidate(patterns, cfg, opts)
+}
 
 // Evaluate grades reported hotspot cores against ground-truth cores.
 func Evaluate(reported, truth []Rect, areaDBU2 int64, spec ClipSpec) Score {

@@ -44,6 +44,53 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestPublicAPITrainCV exercises cross-validated model selection through
+// the façade and checks the selection provenance survives save/load.
+func TestPublicAPITrainCV(t *testing.T) {
+	bench := hotspot.GenerateBenchmark(hotspot.BenchmarkConfig{
+		Name: "api_cv_test", Process: "32nm",
+		W: 40000, H: 40000,
+		TestHS: 4, TrainHS: 16, TrainNHS: 60,
+		FillFactor: 0.5, Seed: 7, Workers: 8,
+	})
+	res, err := hotspot.TrainCV(bench.Train, hotspot.DefaultConfig(), hotspot.CVOptions{
+		Folds: 3, Seed: 42,
+		Grid: hotspot.CVGrid{Cs: []float64{100, 1000}, Gammas: []float64{0.01, 0.1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detector == nil {
+		t.Fatal("no detector")
+	}
+	if len(res.Candidates) != 4 {
+		t.Fatalf("candidates: %d, want 4", len(res.Candidates))
+	}
+	sel := res.Detector.Selection()
+	if sel == nil || sel.Seed != 42 || sel.Folds != 3 {
+		t.Fatalf("selection header: %+v", sel)
+	}
+
+	var buf bytes.Buffer
+	if err := res.Detector.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := hotspot.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := loaded.Selection()
+	if got == nil {
+		t.Fatal("selection header lost across save/load")
+	}
+	if got.Seed != sel.Seed || got.Folds != sel.Folds || len(got.Groups) != len(sel.Groups) {
+		t.Fatalf("selection round-trip: got %+v, want %+v", got, sel)
+	}
+	if loaded.NumKernels() != res.Detector.NumKernels() {
+		t.Fatalf("kernels: %d vs %d", loaded.NumKernels(), res.Detector.NumKernels())
+	}
+}
+
 func TestPublicAPITypes(t *testing.T) {
 	r := hotspot.R(0, 0, 1200, 1200)
 	if r.Area() != 1200*1200 {

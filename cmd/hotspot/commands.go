@@ -12,6 +12,7 @@ import (
 	"hotspot/internal/experiments"
 	"hotspot/internal/gds"
 	"hotspot/internal/iccad"
+	"hotspot/internal/train"
 )
 
 func generate(name string, scale float64, workers int) (*iccad.Benchmark, error) {
@@ -94,6 +95,12 @@ func cmdTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	name, scale, workers := benchFlags(fs)
 	out := fs.String("out", "model.json", "output model path")
+	cv := fs.Bool("cv", false, "cross-validated per-group hyperparameter search before training")
+	grid := fs.String("grid", "", `search grid, e.g. "c=100,1000;gamma=0.005,0.01" (default: built-in lattice)`)
+	folds := fs.Int("folds", 4, "cross-validation folds (with -cv)")
+	seed := fs.Int64("seed", 42, "fold-assignment / candidate-sampling seed (with -cv)")
+	random := fs.Int("random", 0, "sample N random candidates instead of the full grid (with -cv)")
+	noHalving := fs.Bool("nohalving", false, "disable successive-halving pruning: score every candidate on every fold")
 	stats, verbose, debugAddr := obsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -113,9 +120,32 @@ func cmdTrain(args []string) error {
 	cfg.Obs = reg
 	cfg.Progress = progress
 	t0 := time.Now()
-	det, err := core.Train(b.Train, cfg)
-	if err != nil {
-		return err
+	var det *core.Detector
+	if *cv {
+		g, err := train.ParseGrid(*grid)
+		if err != nil {
+			return err
+		}
+		res, err := train.CrossValidate(b.Train, cfg, train.Options{
+			Folds:     *folds,
+			Seed:      *seed,
+			Workers:   cfg.Workers,
+			Grid:      g,
+			Random:    *random,
+			NoHalving: *noHalving,
+			Obs:       reg,
+			Progress:  progress,
+		})
+		if err != nil {
+			return err
+		}
+		det = res.Detector
+		printSelection(res)
+	} else {
+		det, err = core.Train(b.Train, cfg)
+		if err != nil {
+			return err
+		}
 	}
 	f, err := os.Create(*out)
 	if err != nil {
@@ -134,6 +164,32 @@ func cmdTrain(args []string) error {
 		printObservability(&tel, nil, reg)
 	}
 	return nil
+}
+
+// printSelection renders the per-group cross-validation winners.
+func printSelection(res *train.Result) {
+	searched := 0
+	for _, g := range res.Groups {
+		if g.Searched {
+			searched++
+		}
+	}
+	fmt.Printf("cv: %d candidates x %d folds, seed %d; %d/%d groups searched (the rest keep the defaults)\n",
+		len(res.Candidates), res.Folds, res.Seed, searched, len(res.Groups))
+	fmt.Printf("  %5s %5s %5s  %10s %10s %8s  %6s %7s %11s\n",
+		"group", "#hs", "#nhs", "C", "gamma", "tol", "F1", "recall", "false-alarm")
+	for _, g := range res.Groups {
+		if !g.Searched {
+			continue
+		}
+		tol := "default"
+		if g.Winner.Tol > 0 {
+			tol = fmt.Sprintf("%.4g", g.Winner.Tol)
+		}
+		fmt.Printf("  %5d %5d %5d  %10.4g %10.4g %8s  %6.4f %7.4f %11.4f\n",
+			g.Group, g.Hotspots, g.Negatives, g.Winner.C, g.Winner.Gamma, tol,
+			g.Metrics.F1, g.Metrics.Recall, g.Metrics.FalseAlarm)
+	}
 }
 
 func cmdDetect(args []string) error {

@@ -36,6 +36,13 @@ type Requirements struct {
 	// at least one clip window because the kept anchor is within SnapGrid
 	// (< core side) of each merged one. <= 0 disables.
 	SnapGrid geom.Coord
+	// SnapBase is the origin of the snap-cell grid. Detection pipelines
+	// set it to the layout's bottom-left bound so the kept candidate set
+	// is equivariant under rigid layout translation (an absolute-origin
+	// grid re-buckets anchors near cell boundaries when the layout
+	// shifts). All tiles of one scan must share the same base for seam
+	// deduplication to reproduce the monolithic result.
+	SnapBase geom.Point
 }
 
 // DefaultRequirements mirrors the paper's §V parameters: a 1440 nm maximum
@@ -86,7 +93,8 @@ func KeyFor(l *layout.Layout, layer layout.Layer, spec Spec, at geom.Point, req 
 	core := spec.CoreFor(at)
 	rects := l.QueryClipped(layer, core, nil)
 	return Key{
-		Cell: geom.Pt(floorDiv(at.X, req.SnapGrid), floorDiv(at.Y, req.SnapGrid)),
+		Cell: geom.Pt(floorDiv(at.X-req.SnapBase.X, req.SnapGrid),
+			floorDiv(at.Y-req.SnapBase.Y, req.SnapGrid)),
 		Topo: topo.CanonicalKey(rects, core),
 	}
 }

@@ -99,6 +99,14 @@ type Config struct {
 	// "ours_nopara" mode.
 	Workers int
 
+	// GroupParams overrides the SVM starting hyperparameters per topology
+	// group, indexed by the deterministic cluster order that Prepare (and
+	// therefore Train) produces. Groups beyond the slice — and zero fields
+	// within an entry — fall back to InitialC/InitialGamma and the solver
+	// default tolerance. Model selection (internal/train) fills this with
+	// each group's cross-validated winner.
+	GroupParams []GroupParams
+
 	// Obs, when non-nil, receives framework metrics: stage duration
 	// histograms, clip-extraction and classification counters, and the SVM
 	// solver's iteration/cache counters. nil (the default) disables the
@@ -109,6 +117,27 @@ type Config struct {
 	// are serialized — the callback never runs concurrently with itself —
 	// so it may write to shared state without locking. Not persisted.
 	Progress func(obs.Event) `json:"-"`
+}
+
+// GroupParams is one topology group's SVM hyperparameter override: the
+// starting point of the iterative-doubling schedule (§III-D2) and the SMO
+// stopping tolerance. The zero value defers entirely to the Config-wide
+// defaults.
+type GroupParams struct {
+	// C is the soft-margin penalty seed (0: Config.InitialC).
+	C float64 `json:"c,omitempty"`
+	// Gamma is the RBF width seed (0: Config.InitialGamma).
+	Gamma float64 `json:"gamma,omitempty"`
+	// Tol is the SMO KKT tolerance (0: the solver default).
+	Tol float64 `json:"tol,omitempty"`
+}
+
+// groupParams returns group ci's override, zero when absent.
+func groupParams(cfg Config, ci int) GroupParams {
+	if ci >= 0 && ci < len(cfg.GroupParams) {
+		return cfg.GroupParams[ci]
+	}
+	return GroupParams{}
 }
 
 // DefaultConfig returns the §V parameterization.

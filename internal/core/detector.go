@@ -2,7 +2,6 @@ package core
 
 import (
 	"errors"
-	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -28,6 +27,9 @@ type Detector struct {
 	feedback *feedbackUnit
 	// stats records training-time counters for reporting.
 	stats TrainStats
+	// selection is the optional model-selection provenance (see
+	// selection.go); nil for models trained with fixed parameters.
+	selection *Selection
 	// telemetry records the training pipeline's stage timings and counts.
 	telemetry obs.Telemetry
 }
@@ -114,125 +116,19 @@ var (
 // Train builds a detector from a labelled training set, following Fig. 9:
 // data-shifting upsampling, topological classification, nonhotspot
 // centroid downsampling, per-cluster iterative SVM learning, and feedback
-// kernel learning.
+// kernel learning. It is Prepare followed by Prepared.Train; callers that
+// need the intermediate group structure (e.g. per-group model selection)
+// use those two stages directly.
 //
 // Every stage is timed into the detector's Telemetry; with cfg.Obs set the
 // same stages feed duration histograms and counters in the registry, and
 // with cfg.Progress set each self-training round streams an event.
 func Train(train []*clip.Pattern, cfg Config) (*Detector, error) {
-	var hs, nhs []*clip.Pattern
-	for _, p := range train {
-		if p.Label == clip.Hotspot {
-			hs = append(hs, p)
-		} else {
-			nhs = append(nhs, p)
-		}
+	p, err := Prepare(train, cfg)
+	if err != nil {
+		return nil, err
 	}
-	if len(hs) == 0 {
-		return nil, ErrNoHotspots
-	}
-	if len(nhs) == 0 {
-		return nil, ErrNoNonHotspots
-	}
-
-	d := &Detector{cfg: cfg}
-	tel := &d.telemetry
-	emit := progressEmitter(cfg)
-
-	if !cfg.EnableTopo {
-		// Basic baseline: one huge kernel over the raw training data —
-		// no data shifting, no downsampling — matching the unbalanced
-		// #hs/#nhs ratios of the Table III "Basic" rows.
-		sp := obs.Begin(tel, cfg.Obs, "train.kernels")
-		sp.AddItems(1)
-		unit, iters, err := trainBasicKernel(hs, nhs, cfg, roundEmitter(emit, "train.kernels", 0))
-		if err != nil {
-			return nil, err
-		}
-		sp.End()
-		d.kernels = append(d.kernels, unit)
-		d.stats.HotspotClusters = 1
-		d.stats.UpsampledHS = len(hs)
-		d.stats.NonHotspotCentroids = len(nhs)
-		d.stats.SelfIters = iters
-		return d, nil
-	}
-
-	// Upsample hotspots by data shifting (§III-D3): four shifted
-	// derivatives per pattern introduce the fuzziness that absorbs clip
-	// extraction misalignment.
-	sp := obs.Begin(tel, cfg.Obs, "train.upsample")
-	hs = upsample(hs, cfg.ShiftNM)
-	d.stats.UpsampledHS = len(hs)
-	sp.AddItems(int64(len(hs)))
-	sp.End()
-
-	// Downsample nonhotspots to topological cluster centroids.
-	sp = obs.Begin(tel, cfg.Obs, "train.classify.nonhotspot")
-	nhsClusters := topo.ClassifyObs(coreSamples(nhs), cfg.Topo, cfg.Obs)
-	d.stats.NonHotspotClusters = len(nhsClusters)
-	sp.AddItems(int64(len(nhsClusters)))
-	sp.End()
-	sp = obs.Begin(tel, cfg.Obs, "train.downsample")
-	nhsClusters = topo.MergeClusters(nhsClusters, gridsFor(nhs, cfg), cfg.MaxCentroids)
-	centroids := make([]*clip.Pattern, len(nhsClusters))
-	for i, c := range nhsClusters {
-		centroids[i] = nhs[c.Representative]
-	}
-	d.stats.NonHotspotCentroids = len(centroids)
-	sp.AddItems(int64(len(centroids)))
-	sp.End()
-
-	sp = obs.Begin(tel, cfg.Obs, "train.classify.hotspot")
-	hsClusters := topo.ClassifyObs(coreSamples(hs), cfg.Topo, cfg.Obs)
-	d.stats.HotspotClusters = len(hsClusters)
-	hsClusters = topo.MergeClusters(hsClusters, gridsFor(hs, cfg), cfg.MaxKernels)
-	sp.AddItems(int64(len(hsClusters)))
-	sp.End()
-
-	// Train one kernel per hotspot cluster, in parallel (§III-G).
-	sp = obs.Begin(tel, cfg.Obs, "train.kernels")
-	units := make([]*kernelUnit, len(hsClusters))
-	iters := make([]int, len(hsClusters))
-	errs := make([]error, len(hsClusters))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, max(cfg.Workers, 1))
-	for ci, cluster := range hsClusters {
-		wg.Add(1)
-		go func(ci int, cluster topo.Cluster) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			members := make([]*clip.Pattern, len(cluster.Members))
-			for i, m := range cluster.Members {
-				members[i] = hs[m]
-			}
-			units[ci], iters[ci], errs[ci] = trainClusterKernel(cluster, hs[cluster.Representative], members, centroids, cfg,
-				roundEmitter(emit, "train.kernels", ci))
-		}(ci, cluster)
-	}
-	wg.Wait()
-	for ci, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: kernel %d: %w", ci, err)
-		}
-		d.kernels = append(d.kernels, units[ci])
-		d.stats.SelfIters += iters[ci]
-	}
-	sp.AddItems(int64(len(d.kernels)))
-	sp.End()
-
-	if cfg.EnableFeedback {
-		// The self-evaluation set includes shifted nonhotspot derivatives:
-		// evaluation-phase extras mostly come from clip-extraction
-		// alignment variability, which the shifts reproduce.
-		sp = obs.Begin(tel, cfg.Obs, "train.feedback")
-		d.trainFeedback(upsample(nhs, cfg.ShiftNM), cfg, roundEmitter(emit, "train.feedback", -1))
-		sp.AddItems(int64(d.stats.FeedbackExtras))
-		sp.End()
-	}
-	d.telemetry.AddCounter("train.self_iters", int64(d.stats.SelfIters))
-	return d, nil
+	return p.Train()
 }
 
 // progressEmitter wraps cfg.Progress so concurrent per-cluster goroutines
@@ -322,29 +218,19 @@ func upsample(hs []*clip.Pattern, shift int32) []*clip.Pattern {
 }
 
 // trainClusterKernel fits one per-cluster kernel: the cluster's hotspots
-// against all nonhotspot centroids, with iterative C/gamma doubling.
-func trainClusterKernel(cluster topo.Cluster, repr *clip.Pattern, members, centroids []*clip.Pattern, cfg Config, onRound func(int, int, float64, float64, float64)) (*kernelUnit, int, error) {
+// against all nonhotspot centroids, with iterative C/gamma doubling seeded
+// by the group's hyperparameter override (when set).
+func trainClusterKernel(cluster topo.Cluster, repr *clip.Pattern, members, centroids []*clip.Pattern, cfg Config, gp GroupParams, onRound func(int, int, float64, float64, float64)) (*kernelUnit, int, error) {
 	unit := &kernelUnit{
 		key:      cluster.Key,
 		centroid: cluster.Centroid,
 		hotspots: members,
 	}
 	unit.extractor = features.NewExtractor(repr.CoreRects(), repr.Core)
+	scaled, labels, scaler := groupRows(unit.extractor, members, centroids)
+	unit.scaler = scaler
 
-	rows := make([][]float64, 0, len(members)+len(centroids))
-	labels := make([]int, 0, cap(rows))
-	for _, p := range members {
-		rows = append(rows, unit.vector(p))
-		labels = append(labels, +1)
-	}
-	for _, p := range centroids {
-		rows = append(rows, unit.vector(p))
-		labels = append(labels, -1)
-	}
-	unit.scaler = svm.FitScaler(rows)
-	scaled := unit.scaler.ApplyAll(rows)
-
-	model, iters, err := iterativeTrain(scaled, labels, cfg, 1, onRound)
+	model, iters, err := iterativeTrain(scaled, labels, cfg, gp, 1, onRound)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -355,19 +241,9 @@ func trainClusterKernel(cluster topo.Cluster, repr *clip.Pattern, members, centr
 // trainBasicKernel fits the Table III "Basic" single huge kernel.
 func trainBasicKernel(hs, nhs []*clip.Pattern, cfg Config, onRound func(int, int, float64, float64, float64)) (*kernelUnit, int, error) {
 	unit := &kernelUnit{key: "", hotspots: hs}
-	rows := make([][]float64, 0, len(hs)+len(nhs))
-	labels := make([]int, 0, cap(rows))
-	for _, p := range hs {
-		rows = append(rows, features.VectorDirect(p.CoreRects(), p.Core, cfg.BasicSlots))
-		labels = append(labels, +1)
-	}
-	for _, p := range nhs {
-		rows = append(rows, features.VectorDirect(p.CoreRects(), p.Core, cfg.BasicSlots))
-		labels = append(labels, -1)
-	}
-	unit.scaler = svm.FitScaler(rows)
-	scaled := unit.scaler.ApplyAll(rows)
-	model, iters, err := iterativeTrain(scaled, labels, cfg, 1, onRound)
+	scaled, labels, scaler := basicRows(hs, nhs, cfg.BasicSlots)
+	unit.scaler = scaler
+	model, iters, err := iterativeTrain(scaled, labels, cfg, groupParams(cfg, 0), 1, onRound)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -378,10 +254,17 @@ func trainBasicKernel(hs, nhs []*clip.Pattern, cfg Config, onRound func(int, int
 // iterativeTrain realizes §III-D2: train, self-evaluate on the training
 // data, and double C and gamma until the training accuracy reaches the
 // target or the round budget is exhausted. The best model seen is kept.
-// onRound, when non-nil, observes each round's parameters and accuracy
-// (the progress-streaming hook).
-func iterativeTrain(rows [][]float64, labels []int, cfg Config, weightPos float64, onRound func(round, items int, c, gamma, acc float64)) (*svm.Model, int, error) {
-	c, gamma := cfg.InitialC, cfg.InitialGamma
+// gp seeds the schedule (cross-validated per-group winners); zero fields
+// fall back to the Config-wide defaults. onRound, when non-nil, observes
+// each round's parameters and accuracy (the progress-streaming hook).
+func iterativeTrain(rows [][]float64, labels []int, cfg Config, gp GroupParams, weightPos float64, onRound func(round, items int, c, gamma, acc float64)) (*svm.Model, int, error) {
+	c, gamma := gp.C, gp.Gamma
+	if c <= 0 {
+		c = cfg.InitialC
+	}
+	if gamma <= 0 {
+		gamma = cfg.InitialGamma
+	}
 	if c <= 0 {
 		c = 1000
 	}
@@ -397,7 +280,7 @@ func iterativeTrain(rows [][]float64, labels []int, cfg Config, weightPos float6
 	rounds := 0
 	for round := 0; round < maxIter; round++ {
 		rounds++
-		model, err := svm.Train(rows, labels, svm.Params{C: c, Gamma: gamma, WeightPos: weightPos, Obs: cfg.Obs})
+		model, err := svm.Train(rows, labels, svm.Params{C: c, Gamma: gamma, Tol: gp.Tol, WeightPos: weightPos, Obs: cfg.Obs})
 		if err != nil {
 			return nil, rounds, err
 		}
@@ -482,7 +365,7 @@ func (d *Detector) trainFeedback(nonhotspots []*clip.Pattern, cfg Config, onRoun
 	}
 	fb.scaler = svm.FitScaler(rows)
 	scaled := fb.scaler.ApplyAll(rows)
-	model, _, err := iterativeTrain(scaled, labels, cfg, cfg.FeedbackWeightPos, onRound)
+	model, _, err := iterativeTrain(scaled, labels, cfg, GroupParams{}, cfg.FeedbackWeightPos, onRound)
 	if err != nil {
 		return // feedback is an optimization; training continues without it
 	}

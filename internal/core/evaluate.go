@@ -60,6 +60,13 @@ func (d *Detector) DetectContext(ctx context.Context, l *layout.Layout) (Report,
 	var rep Report
 	tel := &rep.Telemetry
 
+	// Anchor the snap-dedup grid on the geometry bounds: the report is
+	// then equivariant under rigid translation of the layout (locked by
+	// TestMetamorphicDetectTranslationInvariant) and independent of the
+	// design frame, which wire formats like the /v1/scan rect soup drop.
+	gb := l.GeometryBounds()
+	cfg.Requirements.SnapBase = geom.Pt(gb.X0, gb.Y0)
+
 	sp := obs.Begin(tel, cfg.Obs, "detect.extract")
 	cands := clip.ExtractParallelObs(l, cfg.Layer, cfg.Spec, cfg.Requirements, cfg.Workers, cfg.Obs)
 	rep.Candidates = len(cands)

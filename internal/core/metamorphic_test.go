@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"hotspot/internal/geom"
+	"hotspot/internal/layout"
+)
+
+// translateLayout rebuilds a layout with every rectangle translated by
+// (dx, dy), preserving layer structure, insertion order, and the design
+// extent (Bounds can exceed the geometry bbox — a rigid translation moves
+// the frame together with the geometry).
+func translateLayout(l *layout.Layout, dx, dy geom.Coord) *layout.Layout {
+	out := layout.New(l.Name)
+	for _, layer := range l.Layers() {
+		for _, r := range l.Rects(layer) {
+			out.AddRect(layer, r.Translate(dx, dy))
+		}
+	}
+	out.Bounds = l.Bounds.Translate(dx, dy)
+	return out
+}
+
+// TestMetamorphicDetectTranslationInvariant is the metamorphic relation
+// the whole pipeline must satisfy: rigidly translating the testing layout
+// translates the detection report and changes nothing else. Every stage is
+// window-relative (dissection anchors on each rectangle's own corners,
+// extraction filters and features are clip-relative, snap-grid dedup is
+// anchored on the layout bounds), so the reported hotspot cores must map
+// back exactly under the inverse translation.
+func TestMetamorphicDetectTranslationInvariant(t *testing.T) {
+	b := testBenchmark()
+	d := trainedDetector(t, DefaultConfig())
+	base := d.Detect(b.Test)
+
+	// Offsets deliberately not multiples of the 600 dbu snap grid, the
+	// 1200 dbu core, or each other — an absolute-origin dependency in any
+	// stage shows up as a changed report.
+	for _, off := range []struct{ dx, dy geom.Coord }{
+		{137, 0},
+		{0, -259},
+		{-70301, 12343},
+	} {
+		moved := translateLayout(b.Test, off.dx, off.dy)
+		rep := d.Detect(moved)
+		if len(rep.Hotspots) != len(base.Hotspots) {
+			t.Fatalf("translate(%d,%d): %d hotspots, want %d",
+				off.dx, off.dy, len(rep.Hotspots), len(base.Hotspots))
+		}
+		for i, h := range rep.Hotspots {
+			back := h.Translate(-off.dx, -off.dy)
+			if back != base.Hotspots[i] {
+				t.Fatalf("translate(%d,%d): hotspot %d = %v, want %v",
+					off.dx, off.dy, i, back, base.Hotspots[i])
+			}
+		}
+		if rep.Candidates != base.Candidates || rep.Flagged != base.Flagged {
+			t.Fatalf("translate(%d,%d): candidates/flagged %d/%d, want %d/%d",
+				off.dx, off.dy, rep.Candidates, rep.Flagged, base.Candidates, base.Flagged)
+		}
+	}
+}

@@ -98,7 +98,7 @@ func TrainMultiLayer(train []*clip.MultiPattern, classifyLayer int, cfg Config) 
 			labels = append(labels, -1)
 		}
 		scaler := svm.FitScaler(rows)
-		model, _, err := iterativeTrain(scaler.ApplyAll(rows), labels, cfg, 1, roundEmitter(emit, "train.multilayer", ci))
+		model, _, err := iterativeTrain(scaler.ApplyAll(rows), labels, cfg, groupParams(cfg, ci), 1, roundEmitter(emit, "train.multilayer", ci))
 		if err != nil {
 			return nil, fmt.Errorf("core: multilayer kernel %d: %w", ci, err)
 		}

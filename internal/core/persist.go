@@ -14,16 +14,28 @@ import (
 // vectors, scaler, slot layout, and topology metadata, plus the feedback
 // kernel and the configuration it was trained under. The format is
 // versioned so later releases can evolve it.
+//
+// Version history:
+//
+//	1: initial format.
+//	2: optional model-selection header (seed, grid, fold scores, per-group
+//	   winners) and Config.GroupParams. v1 documents still load; v1
+//	   readers would ignore the additions, so the bump is a statement of
+//	   intent, not a break.
 
-const modelFormatVersion = 1
+const (
+	modelFormatVersion    = 2
+	minModelFormatVersion = 1
+)
 
 type persistedModel struct {
-	Version  int               `json:"version"`
-	Config   Config            `json:"config"`
-	Stats    TrainStats        `json:"stats"`
-	Kernels  []persistedKernel `json:"kernels"`
-	Feedback *persistedSVM     `json:"feedback,omitempty"`
-	FbSlots  int               `json:"feedback_slots,omitempty"`
+	Version   int               `json:"version"`
+	Config    Config            `json:"config"`
+	Stats     TrainStats        `json:"stats"`
+	Selection *Selection        `json:"selection,omitempty"`
+	Kernels   []persistedKernel `json:"kernels"`
+	Feedback  *persistedSVM     `json:"feedback,omitempty"`
+	FbSlots   int               `json:"feedback_slots,omitempty"`
 }
 
 type persistedKernel struct {
@@ -54,9 +66,10 @@ func (p persistedSVM) model() *svm.Model {
 // restores a detector that classifies identically without retraining.
 func (d *Detector) Save(w io.Writer) error {
 	pm := persistedModel{
-		Version: modelFormatVersion,
-		Config:  d.config(),
-		Stats:   d.stats,
+		Version:   modelFormatVersion,
+		Config:    d.config(),
+		Stats:     d.stats,
+		Selection: d.Selection(),
 	}
 	for _, k := range d.kernels {
 		pm.Kernels = append(pm.Kernels, persistedKernel{
@@ -83,10 +96,10 @@ func Load(r io.Reader) (*Detector, error) {
 	if err := dec.Decode(&pm); err != nil {
 		return nil, fmt.Errorf("core: decoding model: %w", err)
 	}
-	if pm.Version != modelFormatVersion {
+	if pm.Version < minModelFormatVersion || pm.Version > modelFormatVersion {
 		return nil, fmt.Errorf("core: unsupported model version %d", pm.Version)
 	}
-	d := &Detector{cfg: pm.Config, stats: pm.Stats}
+	d := &Detector{cfg: pm.Config, stats: pm.Stats, selection: pm.Selection}
 	for _, pk := range pm.Kernels {
 		if len(pk.SVM.SVs) == 0 {
 			return nil, fmt.Errorf("core: kernel %q has no support vectors", pk.Key)

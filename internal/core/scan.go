@@ -54,6 +54,11 @@ func (d *Detector) ScanTiled(l *layout.Layout, opts ScanOptions) (Report, error)
 // next Resume run.
 func (d *Detector) ScanTiledContext(ctx context.Context, l *layout.Layout, opts ScanOptions) (Report, ScanStats, error) {
 	cfg := d.config()
+	// Every tile must share one snap-dedup grid origin, and it must be the
+	// one a monolithic Detect of the same layout anchors on: the geometry
+	// bounds (see DetectContext).
+	gb := l.GeometryBounds()
+	cfg.Requirements.SnapBase = geom.Pt(gb.X0, gb.Y0)
 	src := scan.NewLayoutSource(l, cfg.Layer)
 	return d.scanWith(ctx, src, opts, cfg, func([]geom.Rect) (*layout.Layout, error) {
 		return l, nil
@@ -71,6 +76,9 @@ func (d *Detector) ScanGDSContext(ctx context.Context, lib *gds.Library, top str
 	if err != nil {
 		return Report{}, ScanStats{}, err
 	}
+	// The hierarchy bbox is the geometry bounds of the flattened chip, so
+	// this matches what flatten-then-Detect anchors its snap grid on.
+	cfg.Requirements.SnapBase = geom.Pt(src.Bounds().X0, src.Bounds().Y0)
 	return d.scanWith(ctx, src, opts, cfg, func(cores []geom.Rect) (*layout.Layout, error) {
 		return gdsSupportLayout(lib, top, cores, cfg)
 	})

@@ -1,0 +1,69 @@
+package core
+
+// Selection is the model-selection provenance of a trained detector: the
+// seed, search grid, and per-group cross-validated winners that produced
+// its Config.GroupParams. internal/train attaches it via SetSelection;
+// Save embeds it in the model artifact so a loaded model (CLI or hotspotd
+// reload) carries its full selection history.
+type Selection struct {
+	// Seed is the fold-assignment / candidate-sampling seed.
+	Seed int64 `json:"seed"`
+	// Folds is the requested cross-validation fold count.
+	Folds int `json:"folds"`
+	// Grid is the searched hyperparameter grid.
+	Grid SelectionGrid `json:"grid"`
+	// Candidates is the evaluated candidate count (after random
+	// subsampling, when used).
+	Candidates int `json:"candidates"`
+	// Groups records each topology group's winner, in group order.
+	Groups []GroupSelection `json:"groups"`
+}
+
+// SelectionGrid is the searched axis values.
+type SelectionGrid struct {
+	Cs     []float64 `json:"cs"`
+	Gammas []float64 `json:"gammas"`
+	Tols   []float64 `json:"tols,omitempty"`
+}
+
+// GroupSelection is one topology group's cross-validated winner and its
+// held-out fold metrics.
+type GroupSelection struct {
+	// Group is the group (kernel) index; Key its topology key.
+	Group int    `json:"group"`
+	Key   string `json:"key"`
+	// Hotspots and Negatives are the group's dataset populations.
+	Hotspots  int `json:"hotspots"`
+	Negatives int `json:"negatives"`
+	// Params is the winning hyperparameter triple.
+	Params GroupParams `json:"params"`
+	// F1, Recall, and FalseAlarm are the winner's cross-validated
+	// held-out metrics (FalseAlarm is the false-positive rate over the
+	// negatives).
+	F1         float64 `json:"f1"`
+	Recall     float64 `json:"recall"`
+	FalseAlarm float64 `json:"false_alarm"`
+	// FoldF1 lists the winner's per-fold held-out F1 scores, in fold
+	// order (only the folds it was evaluated on; successive halving may
+	// settle a group early).
+	FoldF1 []float64 `json:"fold_f1,omitempty"`
+	// Searched is false when the group was too small to cross-validate
+	// and inherited the Config-wide defaults.
+	Searched bool `json:"searched"`
+}
+
+// SetSelection attaches model-selection provenance to the detector. The
+// selection travels with Save/Load.
+func (d *Detector) SetSelection(s *Selection) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.selection = s
+}
+
+// Selection returns the detector's model-selection provenance, nil for
+// models trained without cross-validated search.
+func (d *Detector) Selection() *Selection {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.selection
+}

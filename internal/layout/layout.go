@@ -98,6 +98,23 @@ func (l *Layout) Rects(layer Layer) []geom.Rect {
 	return ld.rects
 }
 
+// GeometryBounds returns the bounding box of the geometry across all
+// layers. Unlike Bounds — which can be enlarged explicitly to a design
+// extent with empty margins — this is a pure function of the added
+// rectangles, so two layouts holding the same geometry agree on it even
+// when one lost its design frame (e.g. a layout rebuilt from a wire-format
+// rectangle soup). Detection anchors its snap-dedup grid here for exactly
+// that reason.
+func (l *Layout) GeometryBounds() geom.Rect {
+	var bb geom.Rect
+	for _, ld := range l.layers {
+		for _, r := range ld.rects {
+			bb = bb.Union(r)
+		}
+	}
+	return bb
+}
+
 // NumRects returns the total rectangle count across all layers.
 func (l *Layout) NumRects() int {
 	n := 0

@@ -13,11 +13,18 @@ type Event struct {
 	Kernel int `json:"kernel"`
 	// Round is the 1-based self-training round within the stage.
 	Round int `json:"round,omitempty"`
+	// Fold is the 1-based cross-validation fold of the event, 0 when the
+	// stage is not fold-scoped (cross-validated model selection,
+	// internal/train, is the only fold-scoped producer).
+	Fold int `json:"fold,omitempty"`
 	// C and Gamma are the SVM parameters of the round.
 	C     float64 `json:"c,omitempty"`
 	Gamma float64 `json:"gamma,omitempty"`
 	// Accuracy is the self-evaluation accuracy reached by the round.
 	Accuracy float64 `json:"accuracy,omitempty"`
+	// F1 is the cross-validated held-out F1 accumulated so far for the
+	// (Kernel, C, Gamma) candidate emitting the event.
+	F1 float64 `json:"f1,omitempty"`
 	// Items counts the training rows of the stage.
 	Items int `json:"items,omitempty"`
 	// Elapsed is the wall-clock time since the stage started.

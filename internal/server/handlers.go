@@ -64,6 +64,39 @@ type reloadResponse struct {
 	Path    string `json:"path"`
 	Kernels int    `json:"kernels"`
 	Reloads int64  `json:"reloads"`
+	// Selection summarizes the cross-validated model-selection provenance
+	// carried by the loaded artifact; absent for models trained with fixed
+	// hyperparameters.
+	Selection *selectionSummary `json:"selection,omitempty"`
+}
+
+// selectionSummary is the reload-response digest of a model's
+// core.Selection header.
+type selectionSummary struct {
+	Seed       int64 `json:"seed"`
+	Folds      int   `json:"folds"`
+	Candidates int   `json:"candidates"`
+	Groups     int   `json:"groups"`
+	Searched   int   `json:"searched"`
+}
+
+// summarizeSelection digests a detector's selection header (nil-safe).
+func summarizeSelection(sel *core.Selection) *selectionSummary {
+	if sel == nil {
+		return nil
+	}
+	sum := &selectionSummary{
+		Seed:       sel.Seed,
+		Folds:      sel.Folds,
+		Candidates: sel.Candidates,
+		Groups:     len(sel.Groups),
+	}
+	for _, g := range sel.Groups {
+		if g.Searched {
+			sum.Searched++
+		}
+	}
+	return sum
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -254,9 +287,10 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	s.swap(det)
 	writeJSON(w, http.StatusOK, reloadResponse{
-		Path:    path,
-		Kernels: det.NumKernels(),
-		Reloads: s.reloads.Load(),
+		Path:      path,
+		Kernels:   det.NumKernels(),
+		Reloads:   s.reloads.Load(),
+		Selection: summarizeSelection(det.Selection()),
 	})
 }
 

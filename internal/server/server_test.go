@@ -387,6 +387,91 @@ func TestReloadUnderLoad(t *testing.T) {
 	}
 }
 
+// TestReloadSelectionSummary reloads an artifact carrying a
+// cross-validated selection header and checks the reload response
+// surfaces the provenance digest.
+func TestReloadSelectionSummary(t *testing.T) {
+	_, det := fixture(t)
+	dir := t.TempDir()
+
+	// Clone the fixture detector through save/load so attaching the
+	// selection header doesn't mutate the shared fixture.
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clone, err := core.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone.SetSelection(&core.Selection{
+		Seed: 42, Folds: 3, Candidates: 9,
+		Grid: core.SelectionGrid{Cs: []float64{10, 1000}, Gammas: []float64{0.01}},
+		Groups: []core.GroupSelection{
+			{Group: 0, Searched: true, Params: core.GroupParams{C: 10, Gamma: 0.01}, F1: 1},
+			{Group: 1, Searched: false},
+		},
+	})
+	path := filepath.Join(dir, "cv-model.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clone.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s := testServer(t, nil, Config{ModelPath: path})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, data := postJSON(t, ts.URL+"/v1/reload", strings.NewReader("{}"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: status %d: %s", resp.StatusCode, data)
+	}
+	var rr reloadResponse
+	if err := json.Unmarshal(data, &rr); err != nil {
+		t.Fatalf("decoding reload response: %v", err)
+	}
+	if rr.Selection == nil {
+		t.Fatalf("reload response carries no selection summary: %s", data)
+	}
+	want := selectionSummary{Seed: 42, Folds: 3, Candidates: 9, Groups: 2, Searched: 1}
+	if *rr.Selection != want {
+		t.Fatalf("selection summary %+v, want %+v", *rr.Selection, want)
+	}
+
+	// A plain fixed-hyperparameter model reports no selection block.
+	resp, data = postJSON(t, ts.URL+"/v1/reload",
+		strings.NewReader(fmt.Sprintf(`{"path":%q}`, writeFixtureModel(t, dir, det))))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload plain: status %d: %s", resp.StatusCode, data)
+	}
+	rr = reloadResponse{}
+	if err := json.Unmarshal(data, &rr); err != nil {
+		t.Fatalf("decoding reload response: %v", err)
+	}
+	if rr.Selection != nil {
+		t.Fatalf("plain model reload reports selection %+v, want none", *rr.Selection)
+	}
+}
+
+// writeFixtureModel saves a detector under dir and returns the path.
+func writeFixtureModel(t testing.TB, dir string, det *core.Detector) string {
+	t.Helper()
+	path := filepath.Join(dir, "plain-model.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := det.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
 func TestReloadErrors(t *testing.T) {
 	s := testServer(t, nil, Config{}) // no ModelPath
 	ts := httptest.NewServer(s.Handler())

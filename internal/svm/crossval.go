@@ -5,18 +5,11 @@ import (
 	"math/rand"
 )
 
-// CrossValidate runs stratified k-fold cross-validation and returns the
-// mean held-out accuracy. It is the standard way to sanity-check a (C,
-// gamma) choice before committing to the iterative-doubling schedule.
-func CrossValidate(x [][]float64, y []int, p Params, folds int, seed int64) (float64, error) {
-	if folds < 2 {
-		return 0, fmt.Errorf("svm: need >= 2 folds, got %d", folds)
-	}
-	if len(x) != len(y) || len(x) < folds {
-		return 0, fmt.Errorf("svm: %d rows for %d folds", len(x), folds)
-	}
-	// Stratified assignment: spread each class round-robin over folds,
-	// in shuffled order.
+// StratifiedFolds assigns each labelled row to one of k folds: each class
+// is spread round-robin over the folds in an order shuffled by seed, so
+// every fold carries (as nearly as possible) the full class ratio. The
+// assignment is deterministic for a fixed (y, folds, seed).
+func StratifiedFolds(y []int, folds int, seed int64) []int {
 	rng := rand.New(rand.NewSource(seed))
 	var pos, neg []int
 	for i, t := range y {
@@ -28,13 +21,29 @@ func CrossValidate(x [][]float64, y []int, p Params, folds int, seed int64) (flo
 	}
 	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
 	rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
-	fold := make([]int, len(x))
+	fold := make([]int, len(y))
 	for i, idx := range pos {
 		fold[idx] = i % folds
 	}
 	for i, idx := range neg {
 		fold[idx] = i % folds
 	}
+	return fold
+}
+
+// CrossValidate runs stratified k-fold cross-validation and returns the
+// mean held-out accuracy. It is the standard way to sanity-check a (C,
+// gamma) choice before committing to the iterative-doubling schedule.
+// Per-group model selection with metrics beyond accuracy lives in
+// internal/train, which builds on the same StratifiedFolds assignment.
+func CrossValidate(x [][]float64, y []int, p Params, folds int, seed int64) (float64, error) {
+	if folds < 2 {
+		return 0, fmt.Errorf("svm: need >= 2 folds, got %d", folds)
+	}
+	if len(x) != len(y) || len(x) < folds {
+		return 0, fmt.Errorf("svm: %d rows for %d folds", len(x), folds)
+	}
+	fold := StratifiedFolds(y, folds, seed)
 
 	var sumAcc float64
 	scored := 0

@@ -496,6 +496,27 @@ func (m *Model) PredictWithBias(x []float64, bias float64) int {
 	return -1
 }
 
+// Confusion evaluates the model on a labelled set and returns the
+// confusion counts, with +1 as the positive class (batched internally).
+func (m *Model) Confusion(x [][]float64, y []int) (tp, fp, tn, fn int) {
+	if len(x) == 0 {
+		return 0, 0, 0, 0
+	}
+	for i, d := range m.DecisionBatch(x) {
+		switch {
+		case d >= 0 && y[i] > 0:
+			tp++
+		case d >= 0:
+			fp++
+		case y[i] > 0:
+			fn++
+		default:
+			tn++
+		}
+	}
+	return tp, fp, tn, fn
+}
+
 // Accuracy evaluates the model on a labelled set (batched internally).
 func (m *Model) Accuracy(x [][]float64, y []int) float64 {
 	if len(x) == 0 {

@@ -1,0 +1,83 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hotspot/internal/geom"
+)
+
+// The metamorphic companion to invariants_test.go: properties phrased as
+// input transformations that must leave the classification outcome
+// unchanged. CanonicalKey's orientation invariance is covered by
+// TestCanonicalKeyOrientationInvariant; these pin the density grid and the
+// full two-level partition.
+
+// TestMetamorphicDensityOrientationInvariant: the canonical density grid
+// re-orients the pattern into its canonical frame first, so applying any
+// of the eight square symmetries to the input must yield the same grid.
+func TestMetamorphicDensityOrientationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rects, window := randomPattern(rng)
+		d := CanonicalDensity(rects, window, 12)
+		for _, o := range geom.AllOrientations {
+			tr := o.ApplyToRects(rects, window.W())
+			if l1(d, CanonicalDensity(tr, window, 12)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetamorphicClassifyOrientationInvariant: re-orienting every sample
+// by an arbitrary (per-sample) square symmetry must not change the
+// two-level partition — same groups, same membership.
+func TestMetamorphicClassifyOrientationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 5; trial++ {
+		var samples, oriented []Sample
+		n := 12 + rng.Intn(10)
+		for i := 0; i < n; i++ {
+			rects, window := randomPattern(rng)
+			if i%3 == 0 && i > 0 {
+				// Duplicate an earlier pattern so nontrivial groups exist.
+				rects = append([]geom.Rect(nil), samples[i-1].Rects...)
+			}
+			samples = append(samples, Sample{Rects: rects, Region: window})
+			o := geom.AllOrientations[rng.Intn(8)]
+			oriented = append(oriented, Sample{
+				Rects:  o.ApplyToRects(rects, window.W()),
+				Region: window,
+			})
+		}
+		base := Classify(samples, DefaultOptions)
+		turned := Classify(oriented, DefaultOptions)
+		if len(base) != len(turned) {
+			t.Fatalf("trial %d: %d clusters vs %d after re-orientation", trial, len(base), len(turned))
+		}
+		part := func(cs []Cluster) map[int]string {
+			out := map[int]string{}
+			for _, c := range cs {
+				for _, m := range c.Members {
+					out[m] = c.Key
+				}
+			}
+			return out
+		}
+		pb, pt := part(base), part(turned)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if (pb[i] == pb[j]) != (pt[i] == pt[j]) {
+					t.Fatalf("trial %d: samples %d,%d grouped differently after re-orientation (base %v, turned %v)",
+						trial, i, j, pb[i] == pb[j], pt[i] == pt[j])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package train
+
+import (
+	"testing"
+)
+
+// BenchmarkCrossValidate measures the full per-group search on the
+// committed fixture corpus at the golden-fixture configuration (3 folds,
+// 9 candidates, successive halving). Run via `make bench-train`; the
+// committed benchstat baseline is bench-train-baseline.txt.
+func BenchmarkCrossValidate(b *testing.B) {
+	corpus := fixtureCorpus(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := CrossValidate(corpus, fixtureConfig(), fixtureOptions(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Detector == nil {
+			b.Fatal("no detector")
+		}
+	}
+}
+
+// BenchmarkCrossValidateSerial is the one-worker reference point: the
+// fan-out speedup is the ratio of the two.
+func BenchmarkCrossValidateSerial(b *testing.B) {
+	corpus := fixtureCorpus(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CrossValidate(corpus, fixtureConfig(), fixtureOptions(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

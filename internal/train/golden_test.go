@@ -1,0 +1,97 @@
+package train
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+
+	"hotspot/internal/clip"
+)
+
+// -update regenerates testdata/corpus.json (the committed labelled
+// corpus, cut from a small deterministic synthetic benchmark) and
+// testdata/golden.json (the expected search outcome: per-group (C, gamma)
+// winners and fold scores).
+var update = flag.Bool("update", false, "regenerate train testdata fixtures")
+
+// goldenBytes renders the search result in the committed golden form:
+// everything except the detector, indented for reviewable diffs.
+func goldenBytes(t testing.TB, res *Result) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	return append(b, '\n')
+}
+
+// TestGoldenCVFixture pins the full search outcome — winners, fold
+// scores, trial metrics — to the committed golden file, and asserts the
+// outcome is byte-stable across worker counts 1, 4, and 16 and across two
+// consecutive runs.
+func TestGoldenCVFixture(t *testing.T) {
+	if *update {
+		regenTestdata(t)
+	}
+	corpus := fixtureCorpus(t)
+
+	runs := map[string][]byte{
+		"workers=1":       goldenBytes(t, mustCV(t, corpus, 1)),
+		"workers=4":       goldenBytes(t, mustCV(t, corpus, 4)),
+		"workers=16":      goldenBytes(t, mustCV(t, corpus, 16)),
+		"workers=4 rerun": goldenBytes(t, mustCV(t, corpus, 4)),
+	}
+	want, err := os.ReadFile("testdata/golden.json")
+	if err != nil {
+		t.Fatalf("golden file: %v (regenerate with -update)", err)
+	}
+	for name, got := range runs {
+		if !bytes.Equal(got, want) {
+			diffAt := len(want)
+			for i := 0; i < len(got) && i < len(want); i++ {
+				if got[i] != want[i] {
+					diffAt = i
+					break
+				}
+			}
+			t.Errorf("%s: result diverges from golden at byte %d (len %d vs %d); regenerate with -update if the change is intended",
+				name, diffAt, len(got), len(want))
+		}
+	}
+}
+
+// regenTestdata rewrites the committed corpus and golden files.
+func regenTestdata(t *testing.T) {
+	t.Helper()
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	b := makeBenchmark()
+	var buf bytes.Buffer
+	if err := clip.WriteSet(&buf, b.Train); err != nil {
+		t.Fatalf("write corpus: %v", err)
+	}
+	if err := os.WriteFile("testdata/corpus.json", buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Reset the corpus cache so the regenerated file is what the run
+	// below (and every other test) sees.
+	corpusData = nil
+	corpusErr = nil
+	f, err := os.Open("testdata/corpus.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpusData, corpusErr = clip.ReadSet(f)
+	f.Close()
+	if corpusErr != nil {
+		t.Fatalf("reread corpus: %v", corpusErr)
+	}
+	res := mustCV(t, corpusData, 4)
+	if err := os.WriteFile("testdata/golden.json", goldenBytes(t, res), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("regenerated testdata: %d patterns, %d groups", len(corpusData), len(res.Groups))
+}

@@ -1,0 +1,270 @@
+package train
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hotspot/internal/clip"
+	"hotspot/internal/core"
+	"hotspot/internal/obs"
+	"hotspot/internal/svm"
+)
+
+// Result is a cross-validated model selection outcome: the per-group
+// winners, every trial's metrics, and the final detector trained with the
+// winners installed.
+type Result struct {
+	Seed  int64 `json:"seed"`
+	Folds int   `json:"folds"`
+	Grid  Grid  `json:"grid"`
+	// Candidates lists the evaluated candidates in enumeration order.
+	Candidates []Candidate `json:"candidates"`
+	// Groups holds one report per topology group, in group (= kernel)
+	// order.
+	Groups []GroupReport `json:"groups"`
+	// Detector is the final model, trained on the full training set with
+	// each group's winner as its hyperparameter seed, carrying the
+	// selection provenance (Detector.Selection()).
+	Detector *core.Detector `json:"-"`
+}
+
+// GroupParams returns the per-group overrides the search selected, in
+// group order — what was installed as Config.GroupParams of the final
+// detector.
+func (r *Result) GroupParams() []core.GroupParams {
+	out := make([]core.GroupParams, len(r.Groups))
+	for i, g := range r.Groups {
+		if g.Searched {
+			out[i] = core.GroupParams{C: g.Winner.C, Gamma: g.Winner.Gamma, Tol: g.Winner.Tol}
+		}
+	}
+	return out
+}
+
+// selection builds the persisted provenance header.
+func (r *Result) selection() *core.Selection {
+	sel := &core.Selection{
+		Seed:       r.Seed,
+		Folds:      r.Folds,
+		Grid:       core.SelectionGrid{Cs: r.Grid.Cs, Gammas: r.Grid.Gammas, Tols: r.Grid.Tols},
+		Candidates: len(r.Candidates),
+	}
+	for _, g := range r.Groups {
+		sel.Groups = append(sel.Groups, core.GroupSelection{
+			Group:      g.Group,
+			Key:        g.Key,
+			Hotspots:   g.Hotspots,
+			Negatives:  g.Negatives,
+			Params:     core.GroupParams{C: g.Winner.C, Gamma: g.Winner.Gamma, Tol: g.Winner.Tol},
+			F1:         g.Metrics.F1,
+			Recall:     g.Metrics.Recall,
+			FalseAlarm: g.Metrics.FalseAlarm,
+			FoldF1:     g.FoldF1,
+			Searched:   g.Searched,
+		})
+	}
+	return sel
+}
+
+// CrossValidate runs the per-group hyperparameter search over a labelled
+// training set and trains the final detector with the winners. cfg is the
+// framework configuration the groups are prepared (and the final model
+// trained) under; any cfg.GroupParams already present are replaced by the
+// search's winners.
+//
+// The search is deterministic for a fixed (patterns, cfg, opts.Seed) at
+// any opts.Workers value.
+func CrossValidate(patterns []*clip.Pattern, cfg core.Config, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.Grid.validate(); err != nil {
+		return nil, err
+	}
+	if opts.Random < 0 {
+		return nil, fmt.Errorf("train: negative Random sample count %d", opts.Random)
+	}
+	prep, err := core.Prepare(patterns, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cands := opts.candidates()
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("train: empty candidate set")
+	}
+	res := &Result{
+		Seed:       opts.Seed,
+		Folds:      opts.Folds,
+		Grid:       opts.Grid,
+		Candidates: cands,
+		Groups:     make([]GroupReport, prep.NumGroups()),
+	}
+	emit := serializedEmitter(opts.Progress)
+
+	// Fan out: one goroutine per group drives its halving rounds; every
+	// (candidate, fold) cell — and the group's dataset build — runs on a
+	// shared semaphore of opts.Workers slots.
+	sem := make(chan struct{}, opts.Workers)
+	var wg sync.WaitGroup
+	for g := 0; g < prep.NumGroups(); g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res.Groups[g] = searchGroup(prep, g, cands, opts, sem, emit)
+		}(g)
+	}
+	wg.Wait()
+
+	opts.Obs.Counter("train.cv.groups").Add(int64(len(res.Groups)))
+	for _, gr := range res.Groups {
+		if gr.Searched {
+			opts.Obs.Histogram("train.cv.winner_f1").Observe(gr.Metrics.F1)
+		}
+	}
+
+	// Train the final detector on the exact group structure the search
+	// measured, seeded with the winners.
+	prep.SetGroupParams(res.GroupParams())
+	det, err := prep.Train()
+	if err != nil {
+		return nil, err
+	}
+	det.SetSelection(res.selection())
+	res.Detector = det
+	return res, nil
+}
+
+// serializedEmitter wraps a progress callback so concurrent cells never
+// run it concurrently. Returns nil for a nil callback.
+func serializedEmitter(cb func(obs.Event)) func(obs.Event) {
+	if cb == nil {
+		return nil
+	}
+	var mu sync.Mutex
+	return func(e obs.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		cb(e)
+	}
+}
+
+// cell is one (candidate, fold) evaluation result.
+type cell struct {
+	tp, fp, tn, fn int
+	ok             bool
+}
+
+// searchGroup runs the successive-halving search for one topology group.
+func searchGroup(prep *core.Prepared, g int, cands []Candidate, opts Options, sem chan struct{}, emit func(obs.Event)) GroupReport {
+	rep := GroupReport{Group: g, Key: prep.GroupKey(g)}
+	rep.Hotspots, rep.Negatives = prep.GroupSize(g)
+
+	// Effective folds: every fold must hold at least one pattern of each
+	// class, so k is capped by the smaller class. Below two folds there
+	// is no held-out signal — leave the group on the global defaults.
+	k := min(opts.Folds, min(rep.Hotspots, rep.Negatives))
+	if k < 2 {
+		return rep
+	}
+	rep.Folds = k
+	rep.Searched = true
+
+	sem <- struct{}{}
+	rows, labels := prep.GroupDataset(g)
+	<-sem
+	// Per-group fold seed: decorrelate groups while keeping the
+	// assignment a pure function of (seed, group).
+	fold := svm.StratifiedFolds(labels, k, opts.Seed+int64(g)*1_000_003)
+
+	rep.Trials = make([]Trial, len(cands))
+	for i, c := range cands {
+		rep.Trials[i] = Trial{Candidate: c}
+	}
+	alive := make([]int, len(cands))
+	for i := range alive {
+		alive[i] = i
+	}
+
+	// Round f reveals validation fold f for every surviving candidate,
+	// then (unless disabled) drops the bottom half. The survivor set and
+	// every metric depend only on cell outcomes, so scheduling cannot
+	// change the result.
+	for f := 0; f < k; f++ {
+		cells := make([]cell, len(alive))
+		var wg sync.WaitGroup
+		for ai, ci := range alive {
+			wg.Add(1)
+			go func(ai, ci int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				cells[ai] = evalCell(rows, labels, fold, f, cands[ci], opts.Obs)
+			}(ai, ci)
+		}
+		wg.Wait()
+		for ai, ci := range alive {
+			t := &rep.Trials[ci]
+			if !cells[ai].ok {
+				opts.Obs.Counter("train.cv.skipped_folds").Inc()
+				continue
+			}
+			c := cells[ai]
+			t.Metrics.add(c.tp, c.fp, c.tn, c.fn)
+			t.FoldF1 = append(t.FoldF1, f1Score(c.tp, c.fp, c.fn))
+			t.FoldsRun++
+			if emit != nil {
+				emit(obs.Event{
+					Stage: "train.cv", Kernel: g, Fold: f + 1, Round: f + 1,
+					C: t.Candidate.C, Gamma: t.Candidate.Gamma,
+					F1: t.Metrics.F1, Items: len(rows),
+				})
+			}
+		}
+		if !opts.NoHalving && len(alive) > 1 && f+1 < k {
+			sortAliveByScore(alive, rep.Trials)
+			keep := (len(alive) + 1) / 2
+			for _, ci := range alive[keep:] {
+				rep.Trials[ci].Pruned = true
+			}
+			opts.Obs.Counter("train.cv.pruned").Add(int64(len(alive) - keep))
+			alive = alive[:keep]
+		}
+	}
+
+	sortAliveByScore(alive, rep.Trials)
+	winner := &rep.Trials[alive[0]]
+	rep.Winner = winner.Candidate
+	rep.Metrics = winner.Metrics
+	rep.FoldF1 = winner.FoldF1
+	return rep
+}
+
+// evalCell trains one candidate on all folds but f and scores it on fold
+// f. A fold whose training split degenerates (a class stripped entirely,
+// or no support vectors) is skipped rather than failing the search.
+func evalCell(rows [][]float64, labels []int, fold []int, f int, cand Candidate, reg *obs.Registry) cell {
+	trX := make([][]float64, 0, len(rows))
+	trY := make([]int, 0, len(rows))
+	teX := make([][]float64, 0, len(rows)/2)
+	teY := make([]int, 0, len(rows)/2)
+	for i := range rows {
+		if fold[i] == f {
+			teX = append(teX, rows[i])
+			teY = append(teY, labels[i])
+		} else {
+			trX = append(trX, rows[i])
+			trY = append(trY, labels[i])
+		}
+	}
+	if len(teX) == 0 || len(trX) == 0 {
+		return cell{}
+	}
+	start := time.Now()
+	m, err := svm.Train(trX, trY, svm.Params{C: cand.C, Gamma: cand.Gamma, Tol: cand.Tol, Obs: reg})
+	reg.Counter("train.cv.fits").Inc()
+	reg.Histogram("train.cv.fit_seconds").ObserveDuration(time.Since(start))
+	if err != nil {
+		return cell{}
+	}
+	tp, fp, tn, fn := m.Confusion(teX, teY)
+	return cell{tp: tp, fp: fp, tn: tn, fn: fn, ok: true}
+}

@@ -1,0 +1,318 @@
+// Package train implements training-side model selection for the
+// detection framework: stratified k-fold cross-validation and grid (or
+// random) hyperparameter search over (C, gamma, tolerance), run per
+// topology group — the paper trains one SVM kernel per group (§III-D),
+// and groups differ enough in size and geometry that one global
+// parameterization leaves accuracy behind.
+//
+// The search fans out across (group, fold, candidate) triples on a
+// bounded worker pool and prunes with successive halving: each round
+// reveals one more validation fold and drops the bottom half of the
+// surviving candidates, so the fit budget stays near 2x the candidate
+// count per group instead of candidates x folds. Results are
+// deterministic for a fixed seed at any worker count: fold assignment,
+// candidate enumeration, and winner tie-breaking depend only on the
+// inputs, never on goroutine scheduling.
+//
+// The selected per-group winners are installed as core.Config.GroupParams
+// on the exact Prepared group structure the search measured, the final
+// detector is trained from it, and the full selection provenance (seed,
+// grid, fold scores, per-group winners) travels with the model artifact
+// via core.Selection.
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hotspot/internal/obs"
+)
+
+// Grid is the searched hyperparameter axes. Candidates are the cross
+// product of the axis values; an empty Tols axis searches only (C, gamma)
+// at the solver's default tolerance.
+type Grid struct {
+	Cs     []float64 `json:"cs"`
+	Gammas []float64 `json:"gammas"`
+	Tols   []float64 `json:"tols,omitempty"`
+}
+
+// DefaultGrid spans four decades of C around the paper's C = 1000 seed
+// and four decades of gamma around its 0.01, the usual coarse RBF lattice.
+func DefaultGrid() Grid {
+	return Grid{
+		Cs:     []float64{1, 10, 100, 1000, 10000},
+		Gammas: []float64{0.001, 0.01, 0.1, 1},
+	}
+}
+
+// empty reports whether the grid has no axis values.
+func (g Grid) empty() bool { return len(g.Cs) == 0 && len(g.Gammas) == 0 && len(g.Tols) == 0 }
+
+// validate checks every axis value is positive.
+func (g Grid) validate() error {
+	if len(g.Cs) == 0 || len(g.Gammas) == 0 {
+		return fmt.Errorf("train: grid needs at least one C and one gamma")
+	}
+	for _, axis := range [][]float64{g.Cs, g.Gammas, g.Tols} {
+		for _, v := range axis {
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("train: grid values must be positive finite, got %v", v)
+			}
+		}
+	}
+	return nil
+}
+
+// ParseGrid parses the CLI grid syntax: semicolon-separated axes, each
+// "name=v1,v2,...", with axis names c, gamma, and tol (case-insensitive).
+// Omitted axes inherit DefaultGrid's values (tol: solver default).
+//
+//	c=100,1000,10000;gamma=0.005,0.01,0.05
+func ParseGrid(s string) (Grid, error) {
+	g := DefaultGrid()
+	if strings.TrimSpace(s) == "" {
+		return g, nil
+	}
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, vals, ok := strings.Cut(part, "=")
+		if !ok {
+			return Grid{}, fmt.Errorf("train: grid axis %q: want name=v1,v2,...", part)
+		}
+		var axis []float64
+		for _, f := range strings.Split(vals, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return Grid{}, fmt.Errorf("train: grid axis %q: %v", name, err)
+			}
+			axis = append(axis, v)
+		}
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case "c":
+			g.Cs = axis
+		case "gamma", "g":
+			g.Gammas = axis
+		case "tol", "t":
+			g.Tols = axis
+		default:
+			return Grid{}, fmt.Errorf("train: unknown grid axis %q (want c, gamma, or tol)", name)
+		}
+	}
+	if err := g.validate(); err != nil {
+		return Grid{}, err
+	}
+	return g, nil
+}
+
+// Candidate is one hyperparameter triple under evaluation. Tol == 0 means
+// the solver default.
+type Candidate struct {
+	C     float64 `json:"c"`
+	Gamma float64 `json:"gamma"`
+	Tol   float64 `json:"tol,omitempty"`
+}
+
+// Options parameterizes a cross-validated search. The zero value selects
+// four folds, seed 0, the default grid, successive halving, and one
+// worker per CPU.
+type Options struct {
+	// Folds is the cross-validation fold count (default 4). Groups too
+	// small to populate the folds are searched on fewer, and groups with
+	// fewer than two patterns of either class inherit the Config-wide
+	// defaults unsearched.
+	Folds int
+	// Seed drives fold assignment and random candidate sampling. Fixed
+	// seed => identical results at any Workers value.
+	Seed int64
+	// Workers bounds the goroutine fan-out across (group, fold,
+	// candidate) triples (default: GOMAXPROCS).
+	Workers int
+	// Grid is the searched lattice (zero: DefaultGrid).
+	Grid Grid
+	// Random, when > 0, samples that many candidates log-uniformly
+	// within the grid's axis ranges instead of sweeping the full cross
+	// product.
+	Random int
+	// NoHalving disables successive-halving pruning: every candidate is
+	// scored on every fold (the full-budget sweep).
+	NoHalving bool
+	// Obs, when non-nil, receives search metrics: fit counts and
+	// durations, pruned-candidate counts, and per-candidate F1.
+	Obs *obs.Registry
+	// Progress, when non-nil, streams one event per (group, candidate,
+	// fold) evaluation. Calls are serialized.
+	Progress func(obs.Event)
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Folds <= 0 {
+		o.Folds = 4
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Grid.empty() {
+		o.Grid = DefaultGrid()
+	}
+	return o
+}
+
+// candidates enumerates the evaluation candidates in deterministic order:
+// the grid cross product (C-major, then gamma, then tol), or Random
+// log-uniform samples within the axis ranges.
+func (o Options) candidates() []Candidate {
+	tols := o.Grid.Tols
+	if len(tols) == 0 {
+		tols = []float64{0}
+	}
+	if o.Random > 0 {
+		rng := rand.New(rand.NewSource(o.Seed ^ 0x5eed))
+		sample := func(axis []float64) func() float64 {
+			lo, hi := axis[0], axis[0]
+			for _, v := range axis {
+				lo, hi = math.Min(lo, v), math.Max(hi, v)
+			}
+			llo, lhi := math.Log(lo), math.Log(hi)
+			return func() float64 { return math.Exp(llo + rng.Float64()*(lhi-llo)) }
+		}
+		cs, gs := sample(o.Grid.Cs), sample(o.Grid.Gammas)
+		var ts func() float64
+		if len(o.Grid.Tols) > 0 {
+			ts = sample(o.Grid.Tols)
+		}
+		out := make([]Candidate, o.Random)
+		for i := range out {
+			// Draw in a fixed field order so the stream is stable.
+			c := Candidate{C: cs(), Gamma: gs()}
+			if ts != nil {
+				c.Tol = ts()
+			}
+			out[i] = c
+		}
+		return out
+	}
+	out := make([]Candidate, 0, len(o.Grid.Cs)*len(o.Grid.Gammas)*len(tols))
+	for _, c := range o.Grid.Cs {
+		for _, g := range o.Grid.Gammas {
+			for _, t := range tols {
+				out = append(out, Candidate{C: c, Gamma: g, Tol: t})
+			}
+		}
+	}
+	return out
+}
+
+// Metrics are micro-averaged held-out classification metrics over the
+// evaluated folds (+1 = hotspot is the positive class).
+type Metrics struct {
+	// TP/FP/TN/FN are summed over the evaluated validation folds.
+	TP int `json:"tp"`
+	FP int `json:"fp"`
+	TN int `json:"tn"`
+	FN int `json:"fn"`
+	// F1 is the harmonic precision/recall mean; Recall the hotspot
+	// recall (the paper's accuracy axis); FalseAlarm the false-positive
+	// rate over the negatives (the paper's false-alarm axis, normalized
+	// to a rate); Accuracy the plain fraction correct.
+	F1         float64 `json:"f1"`
+	Recall     float64 `json:"recall"`
+	FalseAlarm float64 `json:"false_alarm"`
+	Accuracy   float64 `json:"accuracy"`
+}
+
+// add folds one validation fold's confusion counts in and recomputes the
+// derived rates.
+func (m *Metrics) add(tp, fp, tn, fn int) {
+	m.TP += tp
+	m.FP += fp
+	m.TN += tn
+	m.FN += fn
+	m.F1 = f1Score(m.TP, m.FP, m.FN)
+	if m.TP+m.FN > 0 {
+		m.Recall = float64(m.TP) / float64(m.TP+m.FN)
+	}
+	if m.FP+m.TN > 0 {
+		m.FalseAlarm = float64(m.FP) / float64(m.FP+m.TN)
+	}
+	if n := m.TP + m.FP + m.TN + m.FN; n > 0 {
+		m.Accuracy = float64(m.TP+m.TN) / float64(n)
+	}
+}
+
+// f1Score computes F1 from confusion counts (0 when degenerate).
+func f1Score(tp, fp, fn int) float64 {
+	if 2*tp+fp+fn == 0 {
+		return 0
+	}
+	return 2 * float64(tp) / float64(2*tp+fp+fn)
+}
+
+// Trial is one candidate's record within a group's search.
+type Trial struct {
+	Candidate Candidate `json:"candidate"`
+	// FoldsRun counts the validation folds actually scored (successive
+	// halving stops early for pruned candidates; degenerate folds are
+	// skipped).
+	FoldsRun int `json:"folds_run"`
+	// Pruned marks candidates dropped by successive halving.
+	Pruned bool `json:"pruned"`
+	// Metrics are micro-averaged over the folds in FoldF1.
+	Metrics Metrics `json:"metrics"`
+	// FoldF1 is the per-fold held-out F1, in fold order.
+	FoldF1 []float64 `json:"fold_f1,omitempty"`
+}
+
+// GroupReport is one topology group's search outcome.
+type GroupReport struct {
+	// Group is the group index — kernel index of the trained detector.
+	Group int `json:"group"`
+	// Key is the group's canonical topology key.
+	Key string `json:"key"`
+	// Hotspots and Negatives are the group's dataset populations (after
+	// upsampling / centroid downsampling).
+	Hotspots  int `json:"hotspots"`
+	Negatives int `json:"negatives"`
+	// Folds is the effective fold count (<= Options.Folds for small
+	// groups); 0 when the group was not searched.
+	Folds int `json:"folds"`
+	// Searched is false when the group was too small to cross-validate;
+	// its kernel then trains with the Config-wide defaults.
+	Searched bool `json:"searched"`
+	// Winner is the selected candidate (zero when Searched is false)
+	// with its cross-validated metrics.
+	Winner  Candidate `json:"winner"`
+	Metrics Metrics   `json:"metrics"`
+	// FoldF1 is the winner's per-fold held-out F1.
+	FoldF1 []float64 `json:"fold_f1,omitempty"`
+	// Trials lists every candidate's record, in candidate order.
+	Trials []Trial `json:"trials,omitempty"`
+}
+
+// sortAliveByScore orders candidate indices best-first by cumulative
+// micro-F1, breaking ties by recall, then lower false alarm, then lower
+// candidate index — all scheduling-independent quantities.
+func sortAliveByScore(alive []int, trials []Trial) {
+	sort.Slice(alive, func(a, b int) bool {
+		ta, tb := &trials[alive[a]], &trials[alive[b]]
+		if ta.Metrics.F1 != tb.Metrics.F1 {
+			return ta.Metrics.F1 > tb.Metrics.F1
+		}
+		if ta.Metrics.Recall != tb.Metrics.Recall {
+			return ta.Metrics.Recall > tb.Metrics.Recall
+		}
+		if ta.Metrics.FalseAlarm != tb.Metrics.FalseAlarm {
+			return ta.Metrics.FalseAlarm < tb.Metrics.FalseAlarm
+		}
+		return alive[a] < alive[b]
+	})
+}

@@ -1,0 +1,376 @@
+package train
+
+import (
+	"math"
+	"os"
+	"sync"
+	"testing"
+
+	"hotspot/internal/clip"
+	"hotspot/internal/core"
+	"hotspot/internal/iccad"
+	"hotspot/internal/obs"
+)
+
+// fixtureCorpus loads the committed labelled corpus (see golden_test.go
+// for regeneration).
+var (
+	corpusOnce sync.Once
+	corpusData []*clip.Pattern
+	corpusErr  error
+)
+
+func fixtureCorpus(t testing.TB) []*clip.Pattern {
+	t.Helper()
+	corpusOnce.Do(func() {
+		f, err := os.Open("testdata/corpus.json")
+		if err != nil {
+			corpusErr = err
+			return
+		}
+		defer f.Close()
+		corpusData, corpusErr = clip.ReadSet(f)
+	})
+	if corpusErr != nil {
+		t.Fatalf("fixture corpus: %v (regenerate with `go test ./internal/train -run TestGolden -update`)", corpusErr)
+	}
+	return corpusData
+}
+
+// fixtureOptions is the search configuration shared by the golden fixture
+// test, the determinism tests, and the benchmark.
+func fixtureOptions(workers int) Options {
+	return Options{
+		Folds:   3,
+		Seed:    42,
+		Workers: workers,
+		Grid: Grid{
+			Cs:     []float64{10, 1000, 100000},
+			Gammas: []float64{0.001, 0.01, 0.1},
+		},
+	}
+}
+
+func fixtureConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Workers = 4
+	return cfg
+}
+
+func TestParseGrid(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Grid
+		wantErr bool
+	}{
+		{in: "", want: DefaultGrid()},
+		{
+			in:   "c=1,10;gamma=0.5",
+			want: Grid{Cs: []float64{1, 10}, Gammas: []float64{0.5}},
+		},
+		{
+			in:   "C=100; Gamma = 0.1, 0.2 ;tol=0.01",
+			want: Grid{Cs: []float64{100}, Gammas: []float64{0.1, 0.2}, Tols: []float64{0.01}},
+		},
+		{in: "c=1;q=2", wantErr: true},
+		{in: "c=abc", wantErr: true},
+		{in: "c=-5", wantErr: true},
+		{in: "c", wantErr: true},
+	}
+	for _, tc := range cases {
+		g, err := ParseGrid(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseGrid(%q): want error, got %+v", tc.in, g)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseGrid(%q): %v", tc.in, err)
+			continue
+		}
+		if tc.in == "" {
+			if len(g.Cs) != len(DefaultGrid().Cs) {
+				t.Errorf("ParseGrid(%q) did not default", tc.in)
+			}
+			continue
+		}
+		if !equalF(g.Cs, tc.want.Cs) || !equalF(g.Gammas, tc.want.Gammas) || !equalF(g.Tols, tc.want.Tols) {
+			// Unspecified axes inherit defaults; only compare stated ones.
+			if len(tc.want.Gammas) > 0 && !equalF(g.Gammas, tc.want.Gammas) {
+				t.Errorf("ParseGrid(%q) = %+v, want %+v", tc.in, g, tc.want)
+			}
+			if !equalF(g.Cs, tc.want.Cs) {
+				t.Errorf("ParseGrid(%q).Cs = %v, want %v", tc.in, g.Cs, tc.want.Cs)
+			}
+		}
+	}
+}
+
+func equalF(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCandidateEnumeration(t *testing.T) {
+	o := Options{Grid: Grid{Cs: []float64{1, 2}, Gammas: []float64{0.1, 0.2}, Tols: []float64{0.01}}}
+	got := o.candidates()
+	want := []Candidate{
+		{C: 1, Gamma: 0.1, Tol: 0.01},
+		{C: 1, Gamma: 0.2, Tol: 0.01},
+		{C: 2, Gamma: 0.1, Tol: 0.01},
+		{C: 2, Gamma: 0.2, Tol: 0.01},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("candidates: %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("candidate %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRandomCandidatesDeterministicAndInRange(t *testing.T) {
+	o := Options{Seed: 9, Random: 16, Grid: Grid{Cs: []float64{1, 10000}, Gammas: []float64{0.001, 1}}}
+	a, b := o.candidates(), o.candidates()
+	if len(a) != 16 {
+		t.Fatalf("random candidates: %d, want 16", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("random candidate stream not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].C < 1 || a[i].C > 10000 || a[i].Gamma < 0.001 || a[i].Gamma > 1 {
+			t.Errorf("candidate %d out of range: %+v", i, a[i])
+		}
+		if a[i].Tol != 0 {
+			t.Errorf("candidate %d: tol sampled without a tol axis: %+v", i, a[i])
+		}
+	}
+}
+
+func TestMetricsAdd(t *testing.T) {
+	var m Metrics
+	m.add(8, 2, 90, 2) // tp fp tn fn
+	if got := m.Recall; math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("recall = %v, want 0.8", got)
+	}
+	if got := m.FalseAlarm; math.Abs(got-2.0/92.0) > 1e-12 {
+		t.Errorf("false alarm = %v, want %v", got, 2.0/92.0)
+	}
+	wantF1 := 2 * 8.0 / (2*8.0 + 2 + 2)
+	if got := m.F1; math.Abs(got-wantF1) > 1e-12 {
+		t.Errorf("f1 = %v, want %v", got, wantF1)
+	}
+	m.add(0, 0, 10, 0)
+	if m.TN != 100 {
+		t.Errorf("tn accumulation: %d, want 100", m.TN)
+	}
+}
+
+func TestSortAliveByScoreTieBreaks(t *testing.T) {
+	trials := []Trial{
+		{Metrics: Metrics{F1: 0.5}},
+		{Metrics: Metrics{F1: 0.9, Recall: 0.8}},
+		{Metrics: Metrics{F1: 0.9, Recall: 0.9}},
+		{Metrics: Metrics{F1: 0.9, Recall: 0.9}}, // tie with 2 -> lower index first
+	}
+	alive := []int{0, 1, 2, 3}
+	sortAliveByScore(alive, trials)
+	want := []int{2, 3, 1, 0}
+	for i := range want {
+		if alive[i] != want[i] {
+			t.Fatalf("order = %v, want %v", alive, want)
+		}
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	corpus := fixtureCorpus(t)
+	if _, err := CrossValidate(corpus, fixtureConfig(), Options{Grid: Grid{Cs: []float64{-1}, Gammas: []float64{0.1}}}); err == nil {
+		t.Error("negative grid value: want error")
+	}
+	if _, err := CrossValidate(corpus, fixtureConfig(), Options{Random: -2}); err == nil {
+		t.Error("negative random count: want error")
+	}
+	var empty []*clip.Pattern
+	if _, err := CrossValidate(empty, fixtureConfig(), Options{}); err == nil {
+		t.Error("empty training set: want error")
+	}
+}
+
+// TestCrossValidateSelectsAndTrains exercises the full search on the
+// fixture corpus: per-group winners exist, metrics are populated, halving
+// prunes, and the final detector carries the selection and the winners as
+// GroupParams.
+func TestCrossValidateSelectsAndTrains(t *testing.T) {
+	corpus := fixtureCorpus(t)
+	reg := obs.NewRegistry()
+	opts := fixtureOptions(4)
+	opts.Obs = reg
+	var events int
+	var mu sync.Mutex
+	opts.Progress = func(e obs.Event) {
+		mu.Lock()
+		events++
+		mu.Unlock()
+		if e.Stage != "train.cv" {
+			t.Errorf("event stage %q", e.Stage)
+		}
+	}
+	res, err := CrossValidate(corpus, fixtureConfig(), opts)
+	if err != nil {
+		t.Fatalf("CrossValidate: %v", err)
+	}
+	if res.Detector == nil || res.Detector.NumKernels() != len(res.Groups) {
+		t.Fatalf("detector kernels %d != groups %d", res.Detector.NumKernels(), len(res.Groups))
+	}
+	sel := res.Detector.Selection()
+	if sel == nil || len(sel.Groups) != len(res.Groups) || sel.Seed != opts.Seed {
+		t.Fatalf("selection provenance missing or wrong: %+v", sel)
+	}
+	gp := res.Detector.Config().GroupParams
+	if len(gp) != len(res.Groups) {
+		t.Fatalf("GroupParams %d, want %d", len(gp), len(res.Groups))
+	}
+	searched := 0
+	for i, g := range res.Groups {
+		if !g.Searched {
+			if gp[i] != (core.GroupParams{}) {
+				t.Errorf("group %d unsearched but has params %+v", i, gp[i])
+			}
+			continue
+		}
+		searched++
+		if g.Winner.C == 0 || g.Winner.Gamma == 0 {
+			t.Errorf("group %d: zero winner %+v", i, g.Winner)
+		}
+		if gp[i].C != g.Winner.C || gp[i].Gamma != g.Winner.Gamma {
+			t.Errorf("group %d: GroupParams %+v != winner %+v", i, gp[i], g.Winner)
+		}
+		if g.Metrics.TP+g.Metrics.FN != g.Hotspots {
+			t.Errorf("group %d: held-out positives %d, want %d (every fold scored once)",
+				i, g.Metrics.TP+g.Metrics.FN, g.Hotspots)
+		}
+		if len(g.FoldF1) != g.Folds {
+			t.Errorf("group %d: %d fold scores for %d folds", i, len(g.FoldF1), g.Folds)
+		}
+	}
+	if searched == 0 {
+		t.Fatal("no group was searched")
+	}
+	if reg.Counter("train.cv.fits").Value() == 0 {
+		t.Error("no fits recorded in registry")
+	}
+	if reg.Counter("train.cv.pruned").Value() == 0 {
+		t.Error("halving pruned nothing")
+	}
+	if events == 0 {
+		t.Error("no progress events")
+	}
+
+	// Halving budget: a searched group must not fit every candidate on
+	// every fold.
+	for i, g := range res.Groups {
+		if !g.Searched {
+			continue
+		}
+		cells := 0
+		pruned := 0
+		for _, tr := range g.Trials {
+			cells += tr.FoldsRun
+			if tr.Pruned {
+				pruned++
+			}
+		}
+		full := len(res.Candidates) * g.Folds
+		if pruned > 0 && cells >= full {
+			t.Errorf("group %d: %d cells with pruning, full sweep is %d", i, cells, full)
+		}
+	}
+}
+
+// TestCrossValidateBasicMode covers the single-group Basic baseline path.
+func TestCrossValidateBasicMode(t *testing.T) {
+	corpus := fixtureCorpus(t)
+	cfg := core.BasicConfig()
+	cfg.Workers = 4
+	opts := fixtureOptions(4)
+	opts.Folds = 2
+	opts.Grid = Grid{Cs: []float64{1000}, Gammas: []float64{0.01, 0.1}}
+	res, err := CrossValidate(corpus, cfg, opts)
+	if err != nil {
+		t.Fatalf("CrossValidate basic: %v", err)
+	}
+	if len(res.Groups) != 1 {
+		t.Fatalf("basic groups: %d, want 1", len(res.Groups))
+	}
+	if !res.Groups[0].Searched {
+		t.Fatal("basic group not searched")
+	}
+	if res.Detector.NumKernels() != 1 {
+		t.Fatalf("basic kernels: %d, want 1", res.Detector.NumKernels())
+	}
+}
+
+// TestGroupDatasetMatchesTraining locks the Prepare contract the search
+// depends on: group i of the search is kernel i of the trained detector.
+func TestGroupDatasetMatchesTraining(t *testing.T) {
+	corpus := fixtureCorpus(t)
+	cfg := fixtureConfig()
+	prep, err := core.Prepare(corpus, cfg)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	det, err := prep.Train()
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if det.NumKernels() != prep.NumGroups() {
+		t.Fatalf("kernels %d != groups %d", det.NumKernels(), prep.NumGroups())
+	}
+	for g := 0; g < prep.NumGroups(); g++ {
+		rows, labels := prep.GroupDataset(g)
+		if len(rows) != len(labels) || len(rows) == 0 {
+			t.Fatalf("group %d: %d rows, %d labels", g, len(rows), len(labels))
+		}
+		hs, neg := prep.GroupSize(g)
+		pos := 0
+		for _, l := range labels {
+			if l > 0 {
+				pos++
+			}
+		}
+		if pos != hs || len(labels)-pos != neg {
+			t.Fatalf("group %d: %d/%d pos, want %d/%d", g, pos, len(labels)-pos, hs, neg)
+		}
+	}
+}
+
+// mustCV is the shared happy-path runner for determinism tests.
+func mustCV(t testing.TB, corpus []*clip.Pattern, workers int) *Result {
+	t.Helper()
+	res, err := CrossValidate(corpus, fixtureConfig(), fixtureOptions(workers))
+	if err != nil {
+		t.Fatalf("CrossValidate(workers=%d): %v", workers, err)
+	}
+	return res
+}
+
+// makeBenchmark generates the corpus geometry (also used by -update).
+func makeBenchmark() *iccad.Benchmark {
+	return iccad.Generate(iccad.Config{
+		Name: "train_fixture", Process: "32nm",
+		W: 40000, H: 40000,
+		TestHS: 4, TrainHS: 16, TrainNHS: 60,
+		FillFactor: 0.5, Seed: 7, Workers: 4,
+	})
+}
