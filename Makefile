@@ -5,7 +5,7 @@ GOVULNCHECK ?= govulncheck
 COVERPROFILE ?= cover.out
 BENCHCOUNT ?= 5
 
-.PHONY: all build vet test test-race test-shuffle fuzz bench bench-svm bench-svm-json bench-scan bench-train docs-check check lint cover cover-check
+.PHONY: all build vet test test-race test-shuffle fuzz bench bench-svm bench-svm-json bench-scan bench-train docs-check check lint cover cover-check e2e
 
 all: check
 
@@ -92,5 +92,12 @@ cover-check: cover
 	echo "total coverage: $$total% (baseline: $$base%)"; \
 	awk -v t="$$total" -v b="$$base" 'BEGIN{exit !(t+0 >= b+0)}' || { \
 		echo "FAIL: coverage $$total% fell below the $$base% baseline"; exit 1; }
+
+# Distributed-scan end-to-end smoke: trains a model, launches two local
+# hotspotd backends, runs a distributed scan (including a
+# kill-one-backend-mid-scan pass), and diffs the reports against a
+# single-process scan. Mirrors the CI `e2e` job.
+e2e:
+	bash scripts/e2e.sh
 
 check: vet build test test-race fuzz docs-check

@@ -8,10 +8,12 @@ package hotspot
 // the façade and the internal packages without conversion.
 
 import (
+	"context"
 	"io"
 
 	"hotspot/internal/clip"
 	"hotspot/internal/core"
+	"hotspot/internal/dist"
 	"hotspot/internal/geom"
 	"hotspot/internal/iccad"
 	"hotspot/internal/layout"
@@ -145,6 +147,36 @@ type (
 	// ScanStats reports a tiled scan's orchestration counters.
 	ScanStats = core.ScanStats
 )
+
+// Distributed scanning types. ScanDistributed shards the tile grid into
+// contiguous bands and fans them out across a fleet of hotspotd backends
+// over /v1/scan, merging per-shard candidates through the canonical seam
+// dedup so the report is identical to a local ScanTiled run — with
+// per-shard deadlines, retry/backoff, failover re-dispatch, and graceful
+// degradation to the local path when every backend is down (see
+// docs/ARCHITECTURE.md, "Distributed sharded scanning").
+type (
+	// DistOptions parameterizes a distributed scan (backends, shard
+	// count, deadlines, retry budget, checkpoint); only Backends is
+	// required.
+	DistOptions = dist.Options
+	// DistStats reports a distributed scan's orchestration counters
+	// (shards done/resumed/redispatched, retries, per-backend scorecard).
+	DistStats = dist.Stats
+	// BackendStatus is one backend's end-of-scan scorecard.
+	BackendStatus = dist.BackendStatus
+)
+
+// ErrAllBackendsDown reports that every backend was unreachable and local
+// fallback was disabled (DistOptions.NoLocalFallback).
+var ErrAllBackendsDown = dist.ErrAllBackendsDown
+
+// ScanDistributed evaluates a testing layout across opts.Backends. The
+// detector plans the shards, serves as the local fallback, and assembles
+// the final report; every backend must serve the same model.
+func ScanDistributed(ctx context.Context, det *Detector, l *Layout, opts DistOptions) (Report, DistStats, error) {
+	return dist.Scan(ctx, det, l, opts)
+}
 
 // Observability types. Set Config.Obs to a NewRegistry() to collect
 // counters and duration histograms across training and detection; set

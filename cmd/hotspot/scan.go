@@ -2,16 +2,19 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"hotspot/internal/bundle"
 	"hotspot/internal/core"
+	"hotspot/internal/dist"
 	"hotspot/internal/gds"
 	"hotspot/internal/geom"
 	"hotspot/internal/iccad"
@@ -32,9 +35,14 @@ func cmdScan(args []string) error {
 	bundleDir := fs.String("bundle", "", "scan a bundle directory's testing layout")
 	model := fs.String("model", "", "load a saved model instead of training on the benchmark")
 	tile := fs.Int("tile", 0, "tile side in dbu (0 = 8x the clip side; min = core side)")
-	ckpt := fs.String("checkpoint", "", "journal completed tiles to this file")
+	ckpt := fs.String("checkpoint", "", "journal completed tiles (or shards, with -backends) to this file")
 	resume := fs.Bool("resume", false, "replay a compatible -checkpoint journal before scanning")
 	mem := fs.Int64("mem", 0, "per-tile memory budget in bytes (0 = 64 MiB, negative = unbounded)")
+	backends := fs.String("backends", "", "comma-separated hotspotd backends (host:port) for a distributed scan")
+	shardCount := fs.Int("shards", 0, "shard count for -backends (0 = 4 per backend)")
+	shardDeadline := fs.Duration("shard-deadline", 0, "per-shard attempt deadline for -backends (0 = 5m)")
+	retries := fs.Int("retries", 0, "transient-failure retries per shard before failover (0 = 3)")
+	reportOut := fs.String("report", "", "write the normalized report (runtime-free JSON) to this file")
 	stats, verbose, debugAddr := obsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -44,6 +52,9 @@ func cmdScan(args []string) error {
 	}
 	if *gdsPath != "" && *model == "" {
 		return fmt.Errorf("-gds has no training clips; supply a trained model with -model")
+	}
+	if *backends != "" && *gdsPath != "" {
+		return fmt.Errorf("-backends shards an in-memory layout (benchmark or -bundle); it does not combine with -gds")
 	}
 
 	reg, progress, err := obsSetup(*stats, *verbose, *debugAddr)
@@ -115,6 +126,32 @@ func cmdScan(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *backends != "" {
+		dopts := dist.Options{
+			Backends:     splitBackends(*backends),
+			Shards:       *shardCount,
+			Tile:         geom.Coord(*tile),
+			ShardTimeout: *shardDeadline,
+			Retries:      *retries,
+			Checkpoint:   *ckpt,
+			Resume:       *resume,
+			LocalWorkers: *workers,
+			Obs:          reg,
+		}
+		rep, dst, err := dist.Scan(ctx, det, b.Test, dopts)
+		fmt.Printf("shards: %d/%d done (%d resumed, %d remote, %d local, %d empty; %d retries, %d redispatches)\n",
+			dst.ShardsDone, dst.Shards, dst.ShardsResumed, dst.ShardsRemote,
+			dst.ShardsLocal, dst.ShardsEmpty, dst.Retries, dst.Redispatches)
+		for _, bs := range dst.Backends {
+			state := "up"
+			if bs.Down {
+				state = "down"
+			}
+			fmt.Printf("backend %s: %d shards, %d failures, %s\n", bs.Addr, bs.Shards, bs.Failures, state)
+		}
+		return finishScanReport(rep, dst.Tiles, err, b, det, trainDur, *ckpt, *stats, reg, *reportOut)
+	}
+
 	var rep core.Report
 	var st core.ScanStats
 	if *gdsPath != "" {
@@ -134,10 +171,52 @@ func cmdScan(args []string) error {
 			}
 		}
 		rep, st, err = det.ScanGDSContext(ctx, lib, topName, opts)
-		return finishScan(rep, st, err, b, det, trainDur, *ckpt, *stats, reg)
+		return finishScanReport(rep, st, err, b, det, trainDur, *ckpt, *stats, reg, *reportOut)
 	}
 	rep, st, err = det.ScanTiledContext(ctx, b.Test, opts)
-	return finishScan(rep, st, err, b, det, trainDur, *ckpt, *stats, reg)
+	return finishScanReport(rep, st, err, b, det, trainDur, *ckpt, *stats, reg, *reportOut)
+}
+
+// finishScanReport is finishScan plus the optional -report artifact (only
+// written for a completed scan: a partial report diffs as a false alarm).
+func finishScanReport(rep core.Report, st core.ScanStats, err error, b *iccad.Benchmark,
+	det *core.Detector, trainDur time.Duration, ckpt string, stats bool, reg *obs.Registry, reportOut string) error {
+	if ferr := finishScan(rep, st, err, b, det, trainDur, ckpt, stats, reg); ferr != nil {
+		return ferr
+	}
+	if err == nil && reportOut != "" {
+		return writeReportFile(reportOut, rep)
+	}
+	return nil
+}
+
+// writeReportFile writes the report's deterministic core — counts and
+// hotspot cores, no runtime or telemetry — so two scans of the same
+// layout (local or distributed, any shard count) diff byte-for-byte.
+func writeReportFile(path string, rep core.Report) error {
+	norm := struct {
+		Candidates int         `json:"candidates"`
+		Flagged    int         `json:"flagged"`
+		Reclaimed  int         `json:"reclaimed"`
+		Hotspots   []geom.Rect `json:"hotspots"`
+	}{rep.Candidates, rep.Flagged, rep.Reclaimed, rep.Hotspots}
+	data, err := json.MarshalIndent(norm, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// splitBackends parses the -backends list, tolerating stray whitespace
+// and empty elements.
+func splitBackends(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // finishScan prints the scan outcome. An interruption with a checkpoint on

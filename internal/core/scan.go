@@ -125,10 +125,33 @@ func (d *Detector) scanWith(ctx context.Context, src scan.Source, opts ScanOptio
 
 	// Assemble the report even when err != nil: the partial candidates are
 	// the caller's progress picture, and the contract (like DetectContext's)
-	// is that a non-nil error means "incomplete".
-	rep.Candidates = len(res.Candidates)
+	// is that a non-nil error means "incomplete". An incomplete scan skips
+	// removal (its inputs are partial anyway).
+	aerr := assembleScanReport(&rep, res.Candidates, cfg, err == nil, support)
+	rep.Runtime = time.Since(start)
+	switch {
+	case err != nil:
+		cfg.Obs.Counter("detect.cancelled").Inc()
+		return rep, stats, err
+	case aerr != nil:
+		return rep, stats, aerr
+	}
+	cfg.Obs.Counter("detect.runs").Inc()
+	cfg.Obs.Histogram("detect.seconds").Observe(rep.Runtime.Seconds())
+	return rep, stats, nil
+}
+
+// assembleScanReport turns a merged, seam-deduplicated candidate set into
+// the detection outcome fields of rep: candidate/flag/reclaim tallies and
+// the hotspot cores, with redundant clip removal (for complete scans) run
+// against the layout produced by support. It is shared by the local tiled
+// path and the distributed coordinator, which is what makes a merged
+// distributed report identical to ScanTiled's.
+func assembleScanReport(rep *Report, cands []scan.Candidate, cfg Config, complete bool, support func(cores []geom.Rect) (*layout.Layout, error)) error {
+	tel := &rep.Telemetry
+	rep.Candidates = len(cands)
 	var cores []geom.Rect
-	for _, c := range res.Candidates {
+	for _, c := range cands {
 		if !c.Flagged {
 			continue
 		}
@@ -141,20 +164,12 @@ func (d *Detector) scanWith(ctx context.Context, src scan.Source, opts ScanOptio
 	}
 	tel.AddCounter("detect.flagged", int64(rep.Flagged))
 	tel.AddCounter("detect.reclaimed", int64(rep.Reclaimed))
-	if err != nil {
-		rep.Hotspots = cores
-		rep.Runtime = time.Since(start)
-		cfg.Obs.Counter("detect.cancelled").Inc()
-		return rep, stats, err
-	}
-
-	if cfg.EnableRemoval {
-		sp = obs.Begin(tel, cfg.Obs, "detect.removal")
+	if complete && cfg.EnableRemoval {
+		sp := obs.Begin(tel, cfg.Obs, "detect.removal")
 		rl, err := support(cores)
 		if err != nil {
 			rep.Hotspots = cores
-			rep.Runtime = time.Since(start)
-			return rep, stats, err
+			return err
 		}
 		before := len(cores)
 		cores = RemoveRedundant(cores, rl, cfg)
@@ -162,10 +177,58 @@ func (d *Detector) scanWith(ctx context.Context, src scan.Source, opts ScanOptio
 		sp.End()
 	}
 	rep.Hotspots = cores
-	rep.Runtime = time.Since(start)
-	cfg.Obs.Counter("detect.runs").Inc()
-	cfg.Obs.Histogram("detect.seconds").Observe(rep.Runtime.Seconds())
-	return rep, stats, nil
+	return nil
+}
+
+// ScanShardContext evaluates the tiles of one window of the global tile
+// grid and returns the raw per-window candidates (seam-deduplicated within
+// the window) instead of a report. It is the backend half of the
+// distributed scan: the coordinator partitions the grid into contiguous
+// windows aligned to whole tile rows, ships each window's halo geometry to
+// a backend, and merges the returned sets with scan.MergeSeams before
+// ReportFromScan runs the global assembly (flag tallies, redundant clip
+// removal). snapBase must be the snap-dedup grid origin of the whole
+// layout under scan — its geometry-bounds low corner — not the shard's, so
+// every backend anchors the same grid and the merged set matches a
+// monolithic run exactly.
+func (d *Detector) ScanShardContext(ctx context.Context, l *layout.Layout, window geom.Rect, snapBase geom.Point, opts ScanOptions) ([]scan.Candidate, ScanStats, error) {
+	cfg := d.config()
+	cfg.Requirements.SnapBase = snapBase
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = cfg.Workers
+	}
+	res, err := scan.Run(ctx, scan.NewLayoutSource(l, cfg.Layer), scan.Options{
+		Spec:           cfg.Spec,
+		Layer:          cfg.Layer,
+		Req:            cfg.Requirements,
+		Tile:           opts.Tile,
+		Window:         window,
+		Workers:        workers,
+		CheckpointPath: opts.Checkpoint,
+		Resume:         opts.Resume,
+		TileMemBytes:   opts.TileMemBytes,
+		Obs:            cfg.Obs,
+	}, d.tileEvaluator(cfg))
+	stats := ScanStats{
+		TilesTotal:   res.TilesTotal,
+		TilesDone:    res.TilesDone,
+		TilesResumed: res.TilesResumed,
+		TilesSplit:   res.TilesSplit,
+	}
+	return res.Candidates, stats, err
+}
+
+// ReportFromScan assembles the final detection report from a merged
+// candidate set exactly as ScanTiledContext does: flag counting, then —
+// for complete scans — redundant clip removal over l. The distributed
+// coordinator calls it after scan.MergeSeams so its report is identical to
+// the local tiled path's; complete=false (an aborted scan) skips removal,
+// mirroring the cancellation contract. The caller owns rep.Runtime.
+func (d *Detector) ReportFromScan(rep *Report, cands []scan.Candidate, l *layout.Layout, complete bool) error {
+	return assembleScanReport(rep, cands, d.config(), complete, func([]geom.Rect) (*layout.Layout, error) {
+		return l, nil
+	})
 }
 
 // tileEvaluator returns the scan.TileFunc wrapping this detector: per-tile

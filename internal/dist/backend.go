@@ -1,0 +1,103 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// probeTimeout bounds one /readyz health probe; readiness is a cheap
+// in-memory check, so an answer slower than this counts as down.
+const probeTimeout = 2 * time.Second
+
+// backend is one hotspotd instance's dispatch-side state: its base URL
+// and a small scorecard (shards served, failures charged, consecutive
+// failure streak) that drives the down/probe/revive cycle.
+type backend struct {
+	base string
+
+	mu       sync.Mutex
+	up       bool
+	shards   int
+	failures int
+	score    int // consecutive failures since the last success
+}
+
+// newBackend normalizes addr (host:port or full URL) into a base URL and
+// starts the backend optimistically in rotation.
+func newBackend(addr string) *backend {
+	base := strings.TrimRight(addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &backend{base: base, up: true}
+}
+
+func (b *backend) isUp() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.up
+}
+
+func (b *backend) markDown() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.up = false
+}
+
+func (b *backend) markUp() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.up = true
+	b.score = 0
+}
+
+// noteSuccess resets the consecutive-failure score after a served attempt.
+func (b *backend) noteSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.score = 0
+}
+
+// noteFailure charges one failed attempt (transient or connection alike).
+func (b *backend) noteFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	b.score++
+}
+
+// noteShard credits one completed shard.
+func (b *backend) noteShard() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.shards++
+}
+
+func (b *backend) status() BackendStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BackendStatus{Addr: b.base, Shards: b.shards, Failures: b.failures, Down: !b.up}
+}
+
+// probe asks the backend's /readyz whether it can take shards again.
+func (b *backend) probe(ctx context.Context, client *http.Client) error {
+	pctx, cancel := context.WithTimeout(ctx, probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, b.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dist: probe %s: HTTP %d", b.base, resp.StatusCode)
+	}
+	return nil
+}

@@ -36,35 +36,44 @@ type entry struct {
 	Cands []Candidate `json:"cands"`
 }
 
-// journal is the append-only checkpoint: one JSON line per completed tile
-// after a header line. Lines are flushed as they are written, so a killed
-// scan loses at most the tile lines still being evaluated; a torn final
+// Journal is the append-only checkpoint: one JSON line per completed unit
+// of work after a header line. The pipeline journals tiles; the
+// distributed coordinator (internal/dist) reuses the same format with
+// shard windows as keys. Lines are flushed as they are written, so a
+// killed scan loses at most the lines still being evaluated; a torn final
 // line (the write the crash interrupted) is detected on resume and
 // truncated away.
-type journal struct {
+type Journal struct {
 	mu   sync.Mutex
 	f    *os.File
 	w    *bufio.Writer
 	done map[geom.Rect][]Candidate
 }
 
-// fingerprint hashes everything that must be identical for journaled tile
+// Fingerprint hashes everything that must be identical for journaled tile
 // results to remain valid: the source's identity stamp and the scan
 // geometry, filters, and tiling parameters. Worker count and checkpoint
-// path are deliberately excluded — they do not affect per-tile results.
-func fingerprint(src Source, opts Options) uint64 {
+// path are deliberately excluded — they do not affect per-tile results. A
+// window restriction is folded in only when set, so whole-extent scans
+// keep their historical fingerprints.
+func Fingerprint(src Source, opts Options) uint64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|%v|%d|%+v|%+v|%d|%d",
 		src.Stamp(), src.Bounds(), opts.Layer, opts.Spec, opts.Req, opts.Tile, opts.TileMemBytes)
+	if !opts.Window.Empty() {
+		fmt.Fprintf(h, "|win=%v", opts.Window)
+	}
 	return h.Sum64()
 }
 
-// openJournal opens (or creates) the checkpoint at path. With resume set
-// and an existing compatible journal, completed tiles are loaded for
+// OpenJournal opens (or creates) the checkpoint at path. With resume set
+// and an existing compatible journal, completed entries are loaded for
 // replay and the file is reopened for appending; an incompatible journal
-// yields ErrCheckpointMismatch. Without resume the file is recreated.
-func openJournal(path string, fp uint64, resume bool) (*journal, error) {
-	jn := &journal{done: map[geom.Rect][]Candidate{}}
+// yields ErrCheckpointMismatch. Without resume the file is recreated. fp
+// is the caller's fingerprint of everything that must match for replayed
+// entries to remain valid (see Fingerprint).
+func OpenJournal(path string, fp uint64, resume bool) (*Journal, error) {
+	jn := &Journal{done: map[geom.Rect][]Candidate{}}
 	if resume {
 		if err := jn.load(path, fp); err != nil {
 			return nil, err
@@ -95,7 +104,7 @@ func openJournal(path string, fp uint64, resume bool) (*journal, error) {
 // completed tiles. A torn trailing line is truncated so appending resumes
 // on a clean line boundary. A missing file is not an error: the scan
 // simply starts fresh.
-func (jn *journal) load(path string, fp uint64) error {
+func (jn *Journal) load(path string, fp uint64) error {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
@@ -151,21 +160,22 @@ func readLine(r *bufio.Reader, v any) (good bool, n int64, err error) {
 	return true, n, nil
 }
 
-// replay returns the journaled candidates of a completed tile.
-func (jn *journal) replay(tile geom.Rect) ([]Candidate, bool) {
+// Replay returns the journaled candidates of a completed tile (or shard
+// window) and whether the journal holds it.
+func (jn *Journal) Replay(tile geom.Rect) ([]Candidate, bool) {
 	jn.mu.Lock()
 	defer jn.mu.Unlock()
 	cands, ok := jn.done[tile]
 	return cands, ok
 }
 
-// append journals one completed tile and flushes it to the OS, so the
-// entry survives the process being killed.
-func (jn *journal) append(tile geom.Rect, cands []Candidate) error {
+// Append journals one completed tile (or shard window) and flushes it to
+// the OS, so the entry survives the process being killed.
+func (jn *Journal) Append(tile geom.Rect, cands []Candidate) error {
 	return jn.writeLine(entry{Tile: tile, Cands: cands})
 }
 
-func (jn *journal) writeLine(v any) error {
+func (jn *Journal) writeLine(v any) error {
 	b, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("scan: encoding checkpoint line: %w", err)
@@ -182,7 +192,9 @@ func (jn *journal) writeLine(v any) error {
 	return nil
 }
 
-func (jn *journal) close() {
+// Close flushes and closes the journal file. Safe after partial writes:
+// every Append already flushed its own line.
+func (jn *Journal) Close() {
 	jn.mu.Lock()
 	defer jn.mu.Unlock()
 	jn.w.Flush() //nolint:errcheck // best effort: every append already flushed

@@ -57,6 +57,14 @@ type Options struct {
 	// Tile is the tile side in dbu; 0 picks DefaultTileFactor*ClipSide.
 	// Must be at least Spec.CoreSide so a tile can own whole anchors.
 	Tile geom.Coord
+	// Window, when non-empty, restricts the scan to the tiles of this
+	// sub-rectangle of the source bounds instead of the whole extent. It
+	// is the distributed coordinator's shard hook: a window aligned to
+	// the global tile grid (whole tile rows or columns) evaluates exactly
+	// that grid's tiles inside it, so per-window candidate sets from a
+	// partition of the bounds concatenate — plus one MergeSeams pass —
+	// into the whole-layout result.
+	Window geom.Rect
 	// Workers bounds the tile worker pool; <= 1 scans serially.
 	Workers int
 	// CheckpointPath, when non-empty, journals completed tiles to this
@@ -136,17 +144,21 @@ func Run(ctx context.Context, src Source, opts Options, eval TileFunc) (Result, 
 		return res, fmt.Errorf("scan: tile side %d below core side %d", opts.Tile, opts.Spec.CoreSide)
 	}
 
-	var jn *journal
+	var jn *Journal
 	if opts.CheckpointPath != "" {
 		var err error
-		jn, err = openJournal(opts.CheckpointPath, fingerprint(src, opts), opts.Resume)
+		jn, err = OpenJournal(opts.CheckpointPath, Fingerprint(src, opts), opts.Resume)
 		if err != nil {
 			return res, err
 		}
-		defer jn.close()
+		defer jn.Close()
 	}
 
-	tiles := tilesOver(src.Bounds(), opts.Tile)
+	span := src.Bounds()
+	if !opts.Window.Empty() {
+		span = opts.Window
+	}
+	tiles := tilesOver(span, opts.Tile)
 	reg := opts.Obs
 	reg.Counter("scan.runs").Inc()
 
@@ -208,7 +220,7 @@ func Run(ctx context.Context, src Source, opts Options, eval TileFunc) (Result, 
 	}
 	wg.Wait()
 
-	res.Candidates = mergeSeams(all)
+	res.Candidates = MergeSeams(all)
 	reg.Counter("scan.candidates").Add(int64(len(res.Candidates)))
 	if runErr != nil {
 		return res, runErr
@@ -220,9 +232,9 @@ func Run(ctx context.Context, src Source, opts Options, eval TileFunc) (Result, 
 // memory-budget splitting, evaluation, and journaling. split reports that
 // the tile was subdivided (its quadrants were re-queued) instead of
 // evaluated.
-func runTile(ctx context.Context, src Source, opts Options, eval TileFunc, tile geom.Rect, jn *journal, pool *stealPool, w int) (cands []Candidate, replayed, split bool, err error) {
+func runTile(ctx context.Context, src Source, opts Options, eval TileFunc, tile geom.Rect, jn *Journal, pool *stealPool, w int) (cands []Candidate, replayed, split bool, err error) {
 	if jn != nil {
-		if cands, ok := jn.replay(tile); ok {
+		if cands, ok := jn.Replay(tile); ok {
 			opts.Obs.Counter("scan.tiles_resumed").Inc()
 			return cands, true, false, nil
 		}
@@ -257,7 +269,7 @@ func runTile(ctx context.Context, src Source, opts Options, eval TileFunc, tile 
 		return nil, false, false, err
 	}
 	if jn != nil {
-		if err := jn.append(tile, cands); err != nil {
+		if err := jn.Append(tile, cands); err != nil {
 			return nil, false, false, err
 		}
 	}
@@ -288,11 +300,14 @@ func splitTile(pool *stealPool, w int, opts Options, tile geom.Rect, nrects int)
 	return true
 }
 
-// mergeSeams collapses duplicate candidates straddling tile boundaries:
+// MergeSeams collapses duplicate candidates straddling tile boundaries:
 // per-tile results are already canonically deduplicated, and the canonical
 // winner (coordinate-minimal anchor per key class) is associative, so one
-// more pass over the concatenation yields exactly the monolithic set.
-func mergeSeams(all []Candidate) []Candidate {
+// more pass over the concatenation yields exactly the monolithic set. The
+// same associativity lets the distributed coordinator merge per-shard
+// candidate sets: one MergeSeams over the concatenation of any partition's
+// results reproduces the whole-layout scan.
+func MergeSeams(all []Candidate) []Candidate {
 	kcs := make([]clip.Keyed, len(all))
 	byAnchor := make(map[geom.Point]Candidate, len(all))
 	for i, c := range all {

@@ -437,3 +437,46 @@ func TestRunPropagatesEvalError(t *testing.T) {
 		t.Fatalf("err=%v, want boom", err)
 	}
 }
+
+// TestRunWindowPartition is the distributed-shard guarantee at the scan
+// level: tile-row-aligned windows partitioning the bounds produce
+// candidate sets whose concatenation, after one MergeSeams pass, equals
+// the whole-extent run position-for-position.
+func TestRunWindowPartition(t *testing.T) {
+	l := denseLayout(t, 3, 40_000, 32_000)
+	req := clip.DefaultRequirements
+	const tile = 8000
+	src := NewLayoutSource(l, 1)
+	opts := Options{Spec: testSpec, Layer: 1, Req: req, Tile: tile, Workers: 2}
+	full, err := Run(context.Background(), src, opts, extractEval(1, testSpec, req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Candidates) == 0 {
+		t.Fatal("test layout produced no candidates")
+	}
+
+	// Deliberately uneven partition: one tile row, then the remaining three.
+	var all []Candidate
+	for _, band := range []geom.Rect{
+		geom.R(0, 0, 40_000, tile),
+		geom.R(0, tile, 40_000, 32_000),
+	} {
+		wopts := opts
+		wopts.Window = band
+		res, err := Run(context.Background(), src, wopts, extractEval(1, testSpec, req))
+		if err != nil {
+			t.Fatalf("window %v: %v", band, err)
+		}
+		all = append(all, res.Candidates...)
+	}
+	merged := MergeSeams(all)
+	if len(merged) != len(full.Candidates) {
+		t.Fatalf("windowed partition merged to %d candidates, want %d", len(merged), len(full.Candidates))
+	}
+	for i := range merged {
+		if merged[i] != full.Candidates[i] {
+			t.Fatalf("candidate %d = %+v, want %+v", i, merged[i], full.Candidates[i])
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"hotspot/internal/core"
 	"hotspot/internal/geom"
 	"hotspot/internal/layout"
+	"hotspot/internal/scan"
 )
 
 // errorResponse is the JSON error envelope of every non-2xx response.
@@ -36,22 +37,37 @@ type detectResponse struct {
 // Tiled selects the pipeline explicitly: absent, the server picks tiled
 // scanning automatically when the layout reaches Config.TiledScanRects
 // rectangles. Tile overrides the tile side (dbu) for tiled scans.
+//
+// Window turns the request into a shard scan (the distributed
+// coordinator's contract): only tiles of the global tile grid inside
+// [x0,y0,x1,y1] are evaluated, redundant clip removal is skipped (it is a
+// whole-chip pass the coordinator runs after merging), and the raw
+// candidates come back in scanResponse.Candidates. Shard requests must
+// ship whole rectangles intersecting the window's halo (never clipped —
+// dissection anchors derive from each rectangle's true extent) and set
+// SnapBase to the full layout's geometry-bounds low corner so every shard
+// anchors the same snap-dedup grid.
 type scanRequest struct {
-	Name  string          `json:"name,omitempty"`
-	Layer *layout.Layer   `json:"layer,omitempty"`
-	Rects [][4]geom.Coord `json:"rects"`
-	Tiled *bool           `json:"tiled,omitempty"`
-	Tile  geom.Coord      `json:"tile,omitempty"`
+	Name     string          `json:"name,omitempty"`
+	Layer    *layout.Layer   `json:"layer,omitempty"`
+	Rects    [][4]geom.Coord `json:"rects"`
+	Tiled    *bool           `json:"tiled,omitempty"`
+	Tile     geom.Coord      `json:"tile,omitempty"`
+	Window   *[4]geom.Coord  `json:"window,omitempty"`
+	SnapBase *[2]geom.Coord  `json:"snap_base,omitempty"`
 }
 
 // scanResponse wraps the detection report with the scanned geometry size.
 // Tiled reports which pipeline ran; Tiles carries the tile counters of a
-// tiled run (absent otherwise).
+// tiled run (absent otherwise). Candidates is the raw per-shard candidate
+// set of a window request (absent for whole-layout scans, whose outcome is
+// the Report).
 type scanResponse struct {
-	Rects  int             `json:"rects"`
-	Report core.Report     `json:"report"`
-	Tiled  bool            `json:"tiled,omitempty"`
-	Tiles  *core.ScanStats `json:"tiles,omitempty"`
+	Rects      int              `json:"rects"`
+	Report     core.Report      `json:"report"`
+	Tiled      bool             `json:"tiled,omitempty"`
+	Tiles      *core.ScanStats  `json:"tiles,omitempty"`
+	Candidates []scan.Candidate `json:"candidates,omitempty"`
 }
 
 // reloadRequest optionally overrides the model path to load; empty falls
@@ -240,6 +256,10 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
+	if req.Window != nil {
+		s.handleScanWindow(ctx, w, det, l, &req)
+		return
+	}
 	tiled := s.cfg.TiledScanRects > 0 && l.NumRects() >= s.cfg.TiledScanRects
 	if req.Tiled != nil {
 		tiled = *req.Tiled
@@ -262,6 +282,42 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleScanWindow serves one shard of a distributed scan: the window's
+// tiles are evaluated through the tiled pipeline and the raw candidates
+// returned for the coordinator to merge. SnapBase defaults to the posted
+// geometry's own bounds for direct callers, but coordinators always send
+// the whole-chip origin explicitly.
+func (s *Server) handleScanWindow(ctx context.Context, w http.ResponseWriter, det *core.Detector, l *layout.Layout, req *scanRequest) {
+	win := geom.R(req.Window[0], req.Window[1], req.Window[2], req.Window[3])
+	if win.Empty() {
+		writeError(w, http.StatusBadRequest, "empty scan window %v", *req.Window)
+		return
+	}
+	gb := l.GeometryBounds()
+	snap := geom.Pt(gb.X0, gb.Y0)
+	if req.SnapBase != nil {
+		snap = geom.Pt(req.SnapBase[0], req.SnapBase[1])
+	}
+	cands, stats, err := det.ScanShardContext(ctx, l, win, snap, core.ScanOptions{Tile: req.Tile})
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			writeCtxError(w, err)
+		} else {
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	if cands == nil {
+		cands = []scan.Candidate{} // an empty shard is a result, not an omission
+	}
+	writeJSON(w, http.StatusOK, scanResponse{
+		Rects:      l.NumRects(),
+		Tiled:      true,
+		Tiles:      &stats,
+		Candidates: cands,
+	})
 }
 
 // handleReload swaps in a freshly loaded model without dropping traffic:

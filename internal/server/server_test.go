@@ -702,3 +702,66 @@ func TestDebugEndpoints(t *testing.T) {
 		}
 	}
 }
+
+// TestScanEndpointWindow pins the /v1/scan window extension the
+// distributed coordinator rides on: a windowed request evaluates only
+// that window's tiles and returns the raw shard candidates (identical to
+// a direct ScanShardContext call), and an empty window is rejected.
+func TestScanEndpointWindow(t *testing.T) {
+	b, det := fixture(t)
+	s := testServer(t, nil, Config{RequestTimeout: 10 * time.Minute})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const tile = 15000
+	gb := b.Test.GeometryBounds()
+	win := geom.R(b.Test.Bounds.X0, b.Test.Bounds.Y0, b.Test.Bounds.X1, b.Test.Bounds.Y0+2*tile)
+	layer := b.Layer
+	req := scanRequest{
+		Name: "scan_test", Layer: &layer, Tile: tile,
+		Window:   &[4]geom.Coord{win.X0, win.Y0, win.X1, win.Y1},
+		SnapBase: &[2]geom.Coord{gb.X0, gb.Y0},
+	}
+	for _, r := range b.Test.Rects(layer) {
+		req.Rects = append(req.Rects, [4]geom.Coord{r.X0, r.Y0, r.X1, r.Y1})
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(req); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, data := postJSON(t, ts.URL+"/v1/scan", &buf)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var sr scanResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatalf("decoding window scan response: %v", err)
+	}
+	if !sr.Tiled || sr.Tiles == nil || sr.Tiles.TilesDone == 0 {
+		t.Fatalf("window scan metadata missing: tiled=%v tiles=%+v", sr.Tiled, sr.Tiles)
+	}
+	want, _, err := det.ScanShardContext(context.Background(), b.Test, win, geom.Pt(gb.X0, gb.Y0), core.ScanOptions{Tile: tile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Candidates) != len(want) {
+		t.Fatalf("window returned %d candidates, want %d", len(sr.Candidates), len(want))
+	}
+	for i := range want {
+		if sr.Candidates[i] != want[i] {
+			t.Fatalf("candidate %d = %+v, want %+v", i, sr.Candidates[i], want[i])
+		}
+	}
+
+	// A degenerate window is a contract violation, not an empty result.
+	req.Window = &[4]geom.Coord{10, 10, 10, 10}
+	buf.Reset()
+	if err := json.NewEncoder(&buf).Encode(req); err != nil {
+		t.Fatal(err)
+	}
+	resp, data = postJSON(t, ts.URL+"/v1/scan", &buf)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty window: status %d (%s), want 400", resp.StatusCode, data)
+	}
+}
