@@ -5,7 +5,7 @@ GOVULNCHECK ?= govulncheck
 COVERPROFILE ?= cover.out
 BENCHCOUNT ?= 5
 
-.PHONY: all build vet test test-race test-shuffle fuzz bench bench-svm bench-svm-json bench-scan bench-train docs-check check lint cover cover-check e2e
+.PHONY: all build vet test test-race test-shuffle fuzz bench bench-svm bench-svm-json bench-scan bench-train bench-extract bench-extract-json docs-check check lint cover cover-check e2e
 
 all: check
 
@@ -57,6 +57,21 @@ bench-svm-json:
 bench-scan:
 	$(GO) test -run='^$$' -bench='BenchmarkScanTiled' -benchtime=2x \
 		-count=$(BENCHCOUNT) -timeout 40m ./internal/core/
+
+# Clip-evaluation fast-path benchmarks (pooled scratch + exact pre-screen
+# cascade): steady-state memo-hit, forced-miss, and cascade-disabled
+# regimes, reporting ns/clip and allocs/op. bench-extract-baseline.txt is
+# the committed pre-fast-path baseline; CI benchstat-diffs fresh runs
+# against it and separately hard-fails if the prescreen-hit steady state
+# allocates (see the alloc-gate job).
+bench-extract:
+	$(GO) test -run='^$$' -bench='BenchmarkEvalClipPipeline' \
+		-count=$(BENCHCOUNT) -timeout 30m ./internal/core/
+
+# Regenerate BENCH_extract.json (the repo-root fast-path numbers quoted in
+# EXPERIMENTS.md).
+bench-extract-json:
+	HOTSPOT_BENCH_JSON=1 $(GO) test -run TestWriteBenchExtractJSON -count=1 -timeout 30m ./internal/core/
 
 # Cross-validated model-selection benchmarks (full per-group search on the
 # committed train fixture corpus, all-CPU vs serial). The committed

@@ -102,9 +102,15 @@ func cmdTrain(args []string) error {
 	random := fs.Int("random", 0, "sample N random candidates instead of the full grid (with -cv)")
 	noHalving := fs.Bool("nohalving", false, "disable successive-halving pruning: score every candidate on every fold")
 	stats, verbose, debugAddr := obsFlags(fs)
+	cpuProf, memProf := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	b, err := generate(*name, *scale, *workers)
 	if err != nil {
 		return err

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profileFlags adds the shared profiling flags to the long-running
+// commands (train, scan). Evaluation stages are tagged with pprof "stage"
+// labels (classify/extract/svm/feedback), so a CPU profile splits by
+// pipeline stage out of the box:
+//
+//	go tool pprof -tagfocus=stage=svm cpu.pprof
+func profileFlags(fs *flag.FlagSet) (cpu, mem *string) {
+	cpu = fs.String("cpuprofile", "", "write a CPU profile to this file")
+	mem = fs.String("memprofile", "", "write a heap profile to this file on exit")
+	return cpu, mem
+}
+
+// startProfiles begins CPU profiling (when requested) and returns a stop
+// function for the caller to defer. Profiles are written on every exit
+// path that runs defers — including the cooperative Ctrl-C shutdown, which
+// cancels the scan context and returns normally. stop is never nil.
+func startProfiles(cpu, mem string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return func() {}, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return func() {}, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}
+	}, nil
+}

@@ -44,6 +44,7 @@ func cmdScan(args []string) error {
 	retries := fs.Int("retries", 0, "transient-failure retries per shard before failover (0 = 3)")
 	reportOut := fs.String("report", "", "write the normalized report (runtime-free JSON) to this file")
 	stats, verbose, debugAddr := obsFlags(fs)
+	cpuProf, memProf := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,6 +62,13 @@ func cmdScan(args []string) error {
 	if err != nil {
 		return err
 	}
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	// Runs on every return path, including the cooperative Ctrl-C exit
+	// (the signal cancels the context; the scan returns normally).
+	defer stopProf()
 
 	// Benchmark or bundle input (also the training source when no -model).
 	var b *iccad.Benchmark

@@ -85,7 +85,14 @@ type Pattern struct {
 
 // CoreRects returns the geometry clipped to the core region.
 func (p *Pattern) CoreRects() []geom.Rect {
-	var out []geom.Rect
+	return p.AppendCoreRects(nil)
+}
+
+// AppendCoreRects appends the geometry clipped to the core region onto dst
+// (from dst[:0]) and returns it — the allocation-free form of CoreRects for
+// callers that reuse a buffer across clips.
+func (p *Pattern) AppendCoreRects(dst []geom.Rect) []geom.Rect {
+	out := dst[:0]
 	for _, r := range p.Rects {
 		c := r.Intersect(p.Core)
 		if !c.Empty() {
@@ -150,11 +157,18 @@ func (p *Pattern) Density() float64 {
 
 // FromLayout materializes a pattern at core origin p from layout geometry.
 func FromLayout(l *layout.Layout, layer layout.Layer, spec Spec, at geom.Point, label Label) *Pattern {
-	window := spec.WindowFor(at)
-	return &Pattern{
-		Window: window,
-		Core:   spec.CoreFor(at),
-		Rects:  l.QueryClipped(layer, window, nil),
-		Label:  label,
-	}
+	p := &Pattern{}
+	FromLayoutInto(p, l, layer, spec, at, label)
+	return p
+}
+
+// FromLayoutInto is FromLayout materializing into an existing pattern,
+// reusing p.Rects' capacity — the hot evaluation loops rebuild the same
+// pattern slots chunk after chunk instead of allocating fresh ones. The
+// resulting pattern is identical to FromLayout's.
+func FromLayoutInto(p *Pattern, l *layout.Layout, layer layout.Layer, spec Spec, at geom.Point, label Label) {
+	p.Window = spec.WindowFor(at)
+	p.Core = spec.CoreFor(at)
+	p.Rects = l.QueryClipped(layer, p.Window, p.Rects[:0])
+	p.Label = label
 }

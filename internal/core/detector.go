@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hotspot/internal/clip"
@@ -32,6 +33,16 @@ type Detector struct {
 	selection *Selection
 	// telemetry records the training pipeline's stage timings and counts.
 	telemetry obs.Telemetry
+
+	// Pre-screen cascade state (see prescreen.go). The envelope depends
+	// only on the immutable kernels and is built on first use; the memo is
+	// swapped atomically whenever the evaluation configuration changes.
+	envOnce sync.Once
+	env     *densityEnvelope
+	memo    atomic.Pointer[verdictMemo]
+	// memoDisabled (tests and the prescreen-miss benchmark only) keeps the
+	// envelope armed while forcing every memo lookup to miss.
+	memoDisabled bool
 }
 
 // config returns a snapshot of the detector's configuration, safe against
@@ -316,10 +327,12 @@ func iterativeTrain(rows [][]float64, labels []int, cfg Config, gp GroupParams, 
 func (d *Detector) trainFeedback(nonhotspots []*clip.Pattern, cfg Config, onRound func(int, int, float64, float64, float64)) {
 	var extras []*clip.Pattern
 	contributing := map[int]bool{}
+	s := getScratch()
+	defer putScratch(s)
 	for lo := 0; lo < len(nonhotspots); lo += detectChunk {
 		hi := min(lo+detectChunk, len(nonhotspots))
 		chunk := nonhotspots[lo:hi]
-		for i, v := range d.evalBatch(chunk, cfg) {
+		for i, v := range d.evalBatchScratch(s, chunk, cfg) {
 			if v.flagged {
 				extras = append(extras, chunk[i])
 				contributing[v.kidx] = true

@@ -81,6 +81,11 @@ func (d *Detector) DetectContext(ctx context.Context, l *layout.Layout) (Report,
 	sp = obs.Begin(tel, cfg.Obs, "detect.evaluate")
 	var cores []geom.Rect
 	kernelEvals := int64(0)
+	// One evaluation arena serves every chunk: pattern slots, feature rows,
+	// and decision buffers reach their high-water sizes in the first chunks
+	// and are reused thereafter (the zero-allocation fast path).
+	s := getScratch()
+	defer putScratch(s)
 	for lo := 0; lo < len(cands); lo += detectChunk {
 		if err := ctx.Err(); err != nil {
 			sp.End()
@@ -92,12 +97,12 @@ func (d *Detector) DetectContext(ctx context.Context, l *layout.Layout) (Report,
 		if hi > len(cands) {
 			hi = len(cands)
 		}
-		ps := make([]*clip.Pattern, hi-lo)
+		ps := s.patterns(hi - lo)
 		parallelFor(len(ps), cfg.Workers, func(i int) {
-			ps[i] = clip.FromLayout(l, cfg.Layer, cfg.Spec, cands[lo+i].At, 0)
+			clip.FromLayoutInto(ps[i], l, cfg.Layer, cfg.Spec, cands[lo+i].At, 0)
 		})
-		vs := d.evalBatch(ps, cfg)
-		reclaimed := d.feedbackBatch(ps, vs, cfg)
+		vs := d.evalBatchScratch(s, ps, cfg)
+		reclaimed := d.feedbackBatchScratch(s, ps, vs, cfg)
 		for i := range vs {
 			kernelEvals += int64(vs[i].evals)
 			if !vs[i].flagged {

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"hotspot/internal/clip"
+	"hotspot/internal/geom"
+)
+
+// This file implements the exact pre-screen cascade of the clip-evaluation
+// fast path (§III-E's "discard cheaply before expensive work", made
+// bit-exact). Two stages run before feature extraction and the SVMs:
+//
+//  1. Density envelope — a per-raw-density-bin table of certified upper
+//     bounds on every kernel's decision value
+//     (svm.Model.ComponentUpperBound over the scaled density component,
+//     which is always the final vector component). A clip whose bin's
+//     bound is below the decision bias provably cannot be flagged by any
+//     kernel, so it is resolved as unflagged without extraction. The
+//     verdict mirrors the slow path exactly, including the evals count;
+//     the envelope is only armed in the constant-evals modes (all-kernels
+//     and basic — RouteK routing's evals depend on the route, which is as
+//     expensive as what the screen avoids).
+//  2. Verdict memo — a sharded cache keyed by the clip's core geometry
+//     normalized to the core origin. Kernel verdicts are pure functions of
+//     that geometry (extraction canonicalizes in the core frame), so a hit
+//     replays a previously computed verdict verbatim; layouts repeat
+//     patterns heavily (standard cells, arrays), making this the cascade's
+//     workhorse. Entries are verified by full geometry comparison — a hash
+//     collision degrades to a miss, never a wrong verdict.
+//
+// Both stages are exact: with the cascade on or off, every report field
+// and every telemetry counter is byte-identical (locked by the
+// equivalence tests in fastpath_test.go).
+
+// envBins is the density-envelope table resolution over raw density [0, 1];
+// one overflow bin covers [1-1/envBins, +inf) for degenerate inputs.
+const envBins = 256
+
+// memoShards spreads verdict-memo lookups across locks; tile workers hit
+// the memo concurrently.
+const memoShards = 64
+
+// memoMaxEntries caps the memo's footprint (entries, not bytes); once full
+// the memo stops learning new geometries but keeps serving the ones it has.
+const memoMaxEntries = 1 << 16
+
+// densityEnvelope is the stage-1 table: ub[b] bounds every kernel's
+// decision value for clips whose raw core density falls in bin b. It
+// depends only on the immutable kernels (the bias is compared at lookup
+// time), so it is built once per detector.
+type densityEnvelope struct {
+	ok         bool
+	basicSlots int // vector layout guard for the basic kernel
+	hasBasic   bool
+	ub         [envBins + 1]float64
+}
+
+// buildEnvelope computes the per-bin certified bounds, max-ed over kernels.
+func buildEnvelope(kernels []*kernelUnit, basicSlots int) *densityEnvelope {
+	env := &densityEnvelope{basicSlots: basicSlots}
+	if len(kernels) == 0 {
+		return env
+	}
+	for b := range env.ub {
+		env.ub[b] = math.Inf(-1)
+	}
+	for _, k := range kernels {
+		if k.model == nil || k.scaler == nil || len(k.scaler.Min) == 0 {
+			return env // no sound bound available: leave the envelope off
+		}
+		dim := len(k.scaler.Min)
+		// The density is the final component of both vector layouts
+		// (VectorFrom and VectorDirectFrom end with the nontopological
+		// subvector). The scaler was fitted on rows of its own dimension,
+		// so the scaled density lives at dim-1 — unless the eval-time row
+		// length diverges from the fitted one, in which case Apply's
+		// truncate/pad would shift components and the bound would be
+		// unsound; refuse the envelope then.
+		if k.key == "" {
+			env.hasBasic = true
+			if basicSlots*5+5 != dim {
+				return env
+			}
+		} else if k.extractor == nil || k.extractor.Dim() != dim {
+			return env
+		}
+		di := dim - 1
+		min, max := k.scaler.Min[di], k.scaler.Max[di]
+		margin := k.model.RoundingMargin()
+		for b := range env.ub {
+			lo, hi := binInterval(b)
+			// Map the raw interval through the min-max scaling (monotone
+			// for a positive range; a zero range pins the component to 0,
+			// exactly as Scaler.Apply does).
+			slo, shi := 0.0, 0.0
+			if r := max - min; r > 0 {
+				slo, shi = (lo-min)/r, (hi-min)/r
+			}
+			ub := k.model.ComponentUpperBound(di, slo, shi) + margin
+			if ub > env.ub[b] {
+				env.ub[b] = ub
+			}
+		}
+	}
+	env.ok = true
+	return env
+}
+
+// binInterval returns bin b's raw-density interval, widened by a full bin
+// on each side so the float rounding of binOf's multiplication can never
+// place a density outside its bin's interval.
+func binInterval(b int) (lo, hi float64) {
+	lo = float64(b-1) / envBins
+	if lo < 0 {
+		lo = 0
+	}
+	if b >= envBins {
+		return lo, math.Inf(1) // overflow bin: [1-1/envBins, +inf)
+	}
+	return lo, float64(b+2) / envBins
+}
+
+// binOf maps a raw density to its table bin.
+func binOf(density float64) int {
+	b := int(density * envBins)
+	if b < 0 {
+		return 0
+	}
+	if b > envBins {
+		return envBins
+	}
+	return b
+}
+
+// rejects reports whether the envelope certifies that no kernel can flag a
+// clip with the given raw core density under the given bias.
+func (env *densityEnvelope) rejects(density, bias float64) bool {
+	return env.ok && env.ub[binOf(density)] < bias
+}
+
+// envelope returns the detector's density envelope, built on first use.
+func (d *Detector) envelope() *densityEnvelope {
+	d.envOnce.Do(func() {
+		d.env = buildEnvelope(d.kernels, d.config().BasicSlots)
+	})
+	return d.env
+}
+
+// coreDensity computes the clip's raw core density (union area of the
+// core-clipped geometry over the core area) without allocating. The value
+// is exactly features.ComputeNonTopo's Density for the canonicalized core:
+// canonicalization is an isometry of the integer grid, the union area is a
+// well-defined integer, and the divisor (the core area) is preserved, so
+// the float64 quotients are bit-identical.
+func (s *evalScratch) coreDensity(p *clip.Pattern) float64 {
+	if p.Core.Empty() {
+		return 0
+	}
+	s.core = p.AppendCoreRects(s.core)
+	return float64(s.area.TotalArea(s.core)) / float64(p.Core.Area())
+}
+
+// verdictMemo is the stage-2 cache. A memo is valid for one evaluation
+// configuration (the fields below are everything a kernel verdict depends
+// on besides the immutable kernels and the clip's core geometry); SetBias
+// et al. simply swap in a fresh memo.
+type verdictMemo struct {
+	bias       float64
+	routeK     int
+	basicSlots int
+	grid       int
+	count      atomic.Int64
+	shards     [memoShards]memoShard
+}
+
+type memoShard struct {
+	mu sync.RWMutex
+	m  map[uint64][]memoEntry
+}
+
+// memoEntry is one cached verdict with its exact key: the core extent and
+// the core-clipped geometry normalized to the core origin.
+type memoEntry struct {
+	coreW, coreH geom.Coord
+	rects        []geom.Rect
+	v            batchVerdict
+}
+
+// memoFor returns a verdict memo matching cfg, reusing the current one when
+// compatible and atomically installing a fresh one otherwise.
+func (d *Detector) memoFor(cfg Config) *verdictMemo {
+	grid := cfg.Topo.DensityGrid
+	m := d.memo.Load()
+	if m != nil && m.bias == cfg.Bias && m.routeK == cfg.RouteK &&
+		m.basicSlots == cfg.BasicSlots && m.grid == grid {
+		return m
+	}
+	fresh := &verdictMemo{bias: cfg.Bias, routeK: cfg.RouteK, basicSlots: cfg.BasicSlots, grid: grid}
+	if d.memo.CompareAndSwap(m, fresh) {
+		return fresh
+	}
+	// Raced with another goroutine; retry (the winner's memo either
+	// matches cfg or the next round installs one that does).
+	return d.memoFor(cfg)
+}
+
+// coreHash fingerprints the clip's normalized core geometry (FNV-1a over
+// the core extent and each core-clipped rect's origin-relative
+// coordinates). Equal geometry always hashes equally; collisions are
+// resolved by memoEqual.
+func coreHash(p *clip.Pattern) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	mix := func(v geom.Coord) {
+		h ^= uint64(uint32(v))
+		h *= prime
+	}
+	mix(p.Core.W())
+	mix(p.Core.H())
+	for _, r := range p.Rects {
+		c := r.Intersect(p.Core)
+		if c.Empty() {
+			continue
+		}
+		mix(c.X0 - p.Core.X0)
+		mix(c.Y0 - p.Core.Y0)
+		mix(c.X1 - p.Core.X0)
+		mix(c.Y1 - p.Core.Y0)
+	}
+	return h
+}
+
+// memoEqual reports whether the entry's key is exactly the clip's
+// normalized core geometry (same rects, same order).
+func memoEqual(e *memoEntry, p *clip.Pattern) bool {
+	if e.coreW != p.Core.W() || e.coreH != p.Core.H() {
+		return false
+	}
+	t := 0
+	for _, r := range p.Rects {
+		c := r.Intersect(p.Core)
+		if c.Empty() {
+			continue
+		}
+		if t >= len(e.rects) {
+			return false
+		}
+		n := c.Translate(-p.Core.X0, -p.Core.Y0)
+		if e.rects[t] != n {
+			return false
+		}
+		t++
+	}
+	return t == len(e.rects)
+}
+
+// lookup returns the cached verdict for the clip's geometry, if any. The
+// hit path performs no allocation.
+func (m *verdictMemo) lookup(h uint64, p *clip.Pattern) (batchVerdict, bool) {
+	sh := &m.shards[h%memoShards]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for i := range sh.m[h] {
+		e := &sh.m[h][i]
+		if memoEqual(e, p) {
+			return e.v, true
+		}
+	}
+	return batchVerdict{}, false
+}
+
+// insert caches a computed verdict under the clip's geometry key, bounded
+// by memoMaxEntries. Duplicate concurrent inserts of the same geometry are
+// harmless (both carry the same verdict; lookups stop at the first match).
+func (m *verdictMemo) insert(h uint64, p *clip.Pattern, v batchVerdict) {
+	if m.count.Load() >= memoMaxEntries {
+		return
+	}
+	e := memoEntry{coreW: p.Core.W(), coreH: p.Core.H(), v: v}
+	for _, r := range p.Rects {
+		c := r.Intersect(p.Core)
+		if !c.Empty() {
+			e.rects = append(e.rects, c.Translate(-p.Core.X0, -p.Core.Y0))
+		}
+	}
+	sh := &m.shards[h%memoShards]
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[uint64][]memoEntry)
+	}
+	sh.m[h] = append(sh.m[h], e)
+	sh.mu.Unlock()
+	m.count.Add(1)
+}

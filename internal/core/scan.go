@@ -242,18 +242,23 @@ func (d *Detector) tileEvaluator(cfg Config) scan.TileFunc {
 	return func(ctx context.Context, tl *layout.Layout, tile geom.Rect) ([]scan.Candidate, error) {
 		kcs := clip.ExtractTile(tl, cfg.Layer, cfg.Spec, cfg.Requirements, tile)
 		out := make([]scan.Candidate, 0, len(kcs))
+		// One pooled arena per tile: across the thousands of tiles of a
+		// full-chip scan the pool converges to one warmed arena per scan
+		// worker, and the steady-state chunk evaluation allocates nothing.
+		s := getScratch()
+		defer putScratch(s)
 		for lo := 0; lo < len(kcs); lo += detectChunk {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 			hi := min(lo+detectChunk, len(kcs))
 			chunk := kcs[lo:hi]
-			ps := make([]*clip.Pattern, len(chunk))
+			ps := s.patterns(len(chunk))
 			for i, kc := range chunk {
-				ps[i] = clip.FromLayout(tl, cfg.Layer, cfg.Spec, kc.At, 0)
+				clip.FromLayoutInto(ps[i], tl, cfg.Layer, cfg.Spec, kc.At, 0)
 			}
-			vs := d.evalBatch(ps, evalCfg)
-			reclaimed := d.feedbackBatch(ps, vs, evalCfg)
+			vs := d.evalBatchScratch(s, ps, evalCfg)
+			reclaimed := d.feedbackBatchScratch(s, ps, vs, evalCfg)
 			for i := range vs {
 				out = append(out, scan.Candidate{
 					At:        chunk[i].At,

@@ -84,6 +84,31 @@ func ExtractAll(rects []geom.Rect, window geom.Rect) Extracted {
 	}
 }
 
+// ExtractAllCanonical is ExtractAll plus the pattern's canonical topology
+// key, from a single canonicalization pass. Routed evaluation needs both
+// the key (for kernel routing) and the extracted features; computing them
+// separately would canonicalize the pattern twice.
+func ExtractAllCanonical(rects []geom.Rect, window geom.Rect) (Extracted, string) {
+	side := window.W()
+	if window.H() > side {
+		side = window.H()
+	}
+	norm := make([]geom.Rect, 0, len(rects))
+	for _, r := range rects {
+		c := r.Intersect(window)
+		if !c.Empty() {
+			norm = append(norm, c.Translate(-window.X0, -window.Y0))
+		}
+	}
+	w := geom.Rect{X0: 0, Y0: 0, X1: window.W(), Y1: window.H()}
+	key, o := topo.Canonicalize(norm, w)
+	canon, cw := o.ApplyToRects(norm, side), o.ApplyToRect(w, side)
+	return Extracted{
+		Rules: Extract(canon, cw),
+		NT:    ComputeNonTopo(canon, cw),
+	}, key
+}
+
 // Vector extracts the feature vector of a pattern in this extractor's slot
 // layout.
 func (e *Extractor) Vector(rects []geom.Rect, window geom.Rect) []float64 {
@@ -93,9 +118,26 @@ func (e *Extractor) Vector(rects []geom.Rect, window geom.Rect) []float64 {
 // VectorFrom aligns pre-extracted feature material into this extractor's
 // slot layout.
 func (e *Extractor) VectorFrom(ex Extracted) []float64 {
+	out, _ := e.VectorInto(ex, make([]float64, 0, e.Dim()), nil)
+	return out
+}
+
+// VectorInto is VectorFrom appending into dst (from dst[:0]) and using used
+// as the slot-assignment scratch, both grown only when too small. It
+// returns the vector and the (possibly grown) scratch for the caller to
+// retain; with adequately sized buffers the call performs no allocation.
+// The produced vector is identical to VectorFrom's.
+func (e *Extractor) VectorInto(ex Extracted, dst []float64, used []bool) ([]float64, []bool) {
 	rules := ex.Rules
-	out := make([]float64, 0, e.Dim())
-	used := make([]bool, len(rules))
+	out := dst[:0]
+	if cap(used) < len(rules) {
+		used = make([]bool, len(rules))
+	} else {
+		used = used[:len(rules)]
+		for i := range used {
+			used[i] = false
+		}
+	}
 	for _, slot := range e.slots {
 		best := -1
 		bestCost := int64(-1)
@@ -121,8 +163,22 @@ func (e *Extractor) VectorFrom(ex Extracted) []float64 {
 		}
 		out = append(out, float64(r.W), float64(r.H), float64(r.DX), float64(r.DY), b)
 	}
-	out = append(out, ex.NT.Vector()...)
-	return out
+	out = appendNT(out, ex.NT)
+	return out, used
+}
+
+// appendNT appends the nontopological subvector without materializing the
+// intermediate slice NonTopo.Vector allocates. The component order matches
+// NonTopo.Vector exactly; the density is always the final component (the
+// pre-screen envelope in internal/core depends on that).
+func appendNT(out []float64, nt NonTopo) []float64 {
+	return append(out,
+		float64(nt.Corners),
+		float64(nt.Touches),
+		float64(nt.MinInternal),
+		float64(nt.MinExternal),
+		nt.Density,
+	)
 }
 
 func abs64(v int64) int64 {
@@ -142,8 +198,15 @@ func VectorDirect(rects []geom.Rect, window geom.Rect, slots int) []float64 {
 
 // VectorDirectFrom is VectorDirect over pre-extracted feature material.
 func VectorDirectFrom(ex Extracted, slots int) []float64 {
+	return VectorDirectInto(ex, slots, make([]float64, 0, slots*SlotDim+NonTopoDim))
+}
+
+// VectorDirectInto is VectorDirectFrom appending into dst (from dst[:0]),
+// allocating only when dst lacks capacity. The produced vector is identical
+// to VectorDirectFrom's.
+func VectorDirectInto(ex Extracted, slots int, dst []float64) []float64 {
 	rules := ex.Rules
-	out := make([]float64, 0, slots*SlotDim+NonTopoDim)
+	out := dst[:0]
 	for i := 0; i < slots; i++ {
 		if i < len(rules) {
 			r := rules[i]
@@ -156,6 +219,6 @@ func VectorDirectFrom(ex Extracted, slots int) []float64 {
 			out = append(out, 0, 0, 0, 0, 0)
 		}
 	}
-	out = append(out, ex.NT.Vector()...)
+	out = appendNT(out, ex.NT)
 	return out
 }

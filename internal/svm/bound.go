@@ -1,0 +1,57 @@
+package svm
+
+import "math"
+
+// ComponentUpperBound returns a certified upper bound on Decision(x) over
+// every input x whose comp-th component lies in [lo, hi], with all other
+// components unconstrained.
+//
+// Derivation: for the RBF kernel, ||x - sv||^2 >= (x[comp] - sv[comp])^2 >=
+// d^2 where d is the distance from sv[comp] to the interval, so
+// k(sv, x) = exp(-gamma ||x - sv||^2) <= exp(-gamma d^2). Positive-coef
+// terms are bounded by coef * exp(-gamma d^2); negative-coef terms are
+// bounded by zero (the kernel is positive). The bound is therefore sound
+// over the reals for any x in the slab — the density pre-screen in
+// internal/core uses it to discard clips that provably cannot be flagged,
+// keeping reports byte-identical to the unscreened path.
+//
+// The bound is computed in float64; callers comparing it against a decision
+// threshold should allow a rounding margin (RoundingMargin provides a
+// conservative one).
+func (m *Model) ComponentUpperBound(comp int, lo, hi float64) float64 {
+	ub := -m.Rho
+	for i, c := range m.Coef {
+		if c <= 0 {
+			continue
+		}
+		sv := 0.0
+		if row := m.SVs[i]; comp >= 0 && comp < len(row) {
+			sv = row[comp]
+		}
+		d := 0.0
+		switch {
+		case sv < lo:
+			d = lo - sv
+		case sv > hi:
+			d = sv - hi
+		}
+		ub += c * math.Exp(-m.Gamma*d*d)
+	}
+	return ub
+}
+
+// RoundingMargin returns a slack that dominates the float64 rounding error
+// of both ComponentUpperBound and Decision for this model, so that
+// `bound + margin < threshold` certifies `Decision(x) < threshold` despite
+// finite precision. It scales with the coefficient mass (each of the
+// O(|SVs|) summed terms is bounded by |coef|, and each carries O(eps)
+// relative rounding error); the constant is ~1e6 machine epsilons per unit
+// of coefficient mass — vastly more slack than the error analysis needs,
+// while still far below the decision swings that make the bound useful.
+func (m *Model) RoundingMargin() float64 {
+	mass := 0.0
+	for _, c := range m.Coef {
+		mass += math.Abs(c)
+	}
+	return 1e-9 * (1 + mass)
+}

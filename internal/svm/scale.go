@@ -32,15 +32,23 @@ func FitScaler(x [][]float64) *Scaler {
 // map to 0. Rows longer than the fitted dimension are truncated; shorter
 // rows are padded with zeros.
 func (s *Scaler) Apply(row []float64) []float64 {
-	out := make([]float64, len(s.Min))
+	return s.ApplyInto(row, make([]float64, 0, len(s.Min)))
+}
+
+// ApplyInto is Apply writing into dst (from dst[:0], grown only when dst
+// lacks capacity). The result is identical to Apply's; it is valid until
+// the caller reuses dst.
+func (s *Scaler) ApplyInto(row, dst []float64) []float64 {
+	out := dst[:0]
 	for i := range s.Min {
-		if i >= len(row) {
-			break
+		v := 0.0
+		if i < len(row) {
+			r := s.Max[i] - s.Min[i]
+			if r > 0 {
+				v = (row[i] - s.Min[i]) / r
+			}
 		}
-		r := s.Max[i] - s.Min[i]
-		if r > 0 {
-			out[i] = (row[i] - s.Min[i]) / r
-		}
+		out = append(out, v)
 	}
 	return out
 }

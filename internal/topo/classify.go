@@ -103,8 +103,10 @@ func classify(patterns []Sample, opts Options) ([]Cluster, int) {
 	keys := make([]string, len(patterns))
 	grids := make([]Density, len(patterns))
 	for i, p := range patterns {
-		keys[i] = CanonicalKey(p.Rects, p.Region)
-		grids[i] = CanonicalDensity(p.Rects, p.Region, opts.DensityGrid)
+		// One Canonicalize serves both the string key and the density grid;
+		// computing them separately would canonicalize every pattern twice
+		// (8 orientation passes each).
+		keys[i], grids[i] = CanonicalKeyDensity(p.Rects, p.Region, opts.DensityGrid)
 		b := byKey[keys[i]]
 		if b == nil {
 			b = &bucket{key: keys[i]}
@@ -160,11 +162,53 @@ func classify(patterns []Sample, opts Options) ([]Cluster, int) {
 // (the orientation that minimizes the encoded string key), so that grids of
 // same-topology patterns are directly comparable.
 func CanonicalDensity(rects []geom.Rect, window geom.Rect, n int) Density {
+	var d Density
+	CanonicalDensityInto(&d, nil, rects, window, n)
+	return d
+}
+
+// Scratch carries the reusable rect buffers of the canonical-density path.
+// The zero value is ready to use; a scratch must not be shared between
+// concurrent callers, and the buffers it hands out are only valid until the
+// next call that uses it.
+type Scratch struct {
+	norm, oriented []geom.Rect
+}
+
+// CanonicalDensityInto is CanonicalDensity writing the grid into d, reusing
+// d.D and (when s is non-nil) s's rect buffers. Canonicalization itself
+// still allocates internally (string keys are built per orientation); the
+// Into form removes the per-call grid and rect-slice garbage.
+func CanonicalDensityInto(d *Density, s *Scratch, rects []geom.Rect, window geom.Rect, n int) {
+	_, bestO := Canonicalize(rects, window)
+	orientedDensityInto(d, s, rects, window, bestO, n)
+}
+
+// CanonicalKeyDensity returns both the canonical string key and the
+// canonical-orientation density grid from a single Canonicalize pass —
+// exactly CanonicalKey plus CanonicalDensity at half the canonicalization
+// cost. Classification needs both for every pattern.
+func CanonicalKeyDensity(rects []geom.Rect, window geom.Rect, n int) (string, Density) {
+	key, bestO := Canonicalize(rects, window)
+	var d Density
+	orientedDensityInto(&d, nil, rects, window, bestO, n)
+	return key, d
+}
+
+// orientedDensityInto pixelates the window-normalized geometry under the
+// given orientation — the shared tail of the canonical-density entry
+// points.
+func orientedDensityInto(d *Density, s *Scratch, rects []geom.Rect, window geom.Rect, o geom.Orientation, n int) {
 	side := window.W()
 	if window.H() > side {
 		side = window.H()
 	}
-	norm := make([]geom.Rect, 0, len(rects))
+	var norm []geom.Rect
+	if s != nil {
+		norm = s.norm[:0]
+	} else {
+		norm = make([]geom.Rect, 0, len(rects))
+	}
 	for _, r := range rects {
 		c := r.Intersect(window)
 		if !c.Empty() {
@@ -172,10 +216,21 @@ func CanonicalDensity(rects []geom.Rect, window geom.Rect, n int) Density {
 		}
 	}
 	w := geom.Rect{X0: 0, Y0: 0, X1: window.W(), Y1: window.H()}
-	_, bestO := Canonicalize(rects, window)
-	tr := bestO.ApplyToRects(norm, side)
-	tw := bestO.ApplyToRect(w, side)
-	return ComputeDensity(tr, tw, n)
+	var tr []geom.Rect
+	if s != nil {
+		tr = s.oriented[:0]
+		for _, r := range norm {
+			tr = append(tr, o.ApplyToRect(r, side))
+		}
+	} else {
+		tr = o.ApplyToRects(norm, side)
+	}
+	tw := o.ApplyToRect(w, side)
+	ComputeDensityInto(d, tr, tw, n)
+	if s != nil {
+		s.norm = norm
+		s.oriented = tr
+	}
 }
 
 // densityCluster clusters one string bucket by density distance.

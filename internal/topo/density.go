@@ -16,12 +16,31 @@ type Density struct {
 // ComputeDensity pixelates the geometry within window into an n x n grid of
 // exact coverage fractions.
 func ComputeDensity(rects []geom.Rect, window geom.Rect, n int) Density {
+	var d Density
+	ComputeDensityInto(&d, rects, window, n)
+	return d
+}
+
+// ComputeDensityInto is ComputeDensity writing into d, reusing d.D when it
+// has the capacity, so steady-state callers (the per-clip evaluation loop)
+// pixelate without allocating. The resulting grid is identical to
+// ComputeDensity's for any input; d must not be aliased by another live
+// Density.
+func ComputeDensityInto(d *Density, rects []geom.Rect, window geom.Rect, n int) {
 	if n < 1 {
 		n = 1
 	}
-	d := Density{N: n, D: make([]float64, n*n)}
+	d.N = n
+	if cap(d.D) < n*n {
+		d.D = make([]float64, n*n)
+	} else {
+		d.D = d.D[:n*n]
+		for i := range d.D {
+			d.D[i] = 0
+		}
+	}
 	if window.Empty() {
-		return d
+		return
 	}
 	pw := float64(window.W()) / float64(n)
 	ph := float64(window.H()) / float64(n)
@@ -54,7 +73,6 @@ func ComputeDensity(rects []geom.Rect, window geom.Rect, n int) Density {
 			}
 		}
 	}
-	return d
 }
 
 func overlap1(a0, a1, b0, b1 float64) float64 {

@@ -1,0 +1,101 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+
+	"hotspot/internal/geom"
+)
+
+// densitiesEqual requires bit-identical grids (the Into variants promise
+// exact equality, not approximate).
+func densitiesEqual(t *testing.T, label string, got, want Density) {
+	t.Helper()
+	if got.N != want.N || len(got.D) != len(want.D) {
+		t.Fatalf("%s: shape N=%d len=%d, want N=%d len=%d",
+			label, got.N, len(got.D), want.N, len(want.D))
+	}
+	for i := range want.D {
+		if got.D[i] != want.D[i] {
+			t.Fatalf("%s: cell %d = %v, want %v", label, i, got.D[i], want.D[i])
+		}
+	}
+}
+
+// randRects builds a random rect soup around (and spilling past) a window.
+func randRects(rng *rand.Rand, window geom.Rect, n int) []geom.Rect {
+	rects := make([]geom.Rect, 0, n)
+	for i := 0; i < n; i++ {
+		x := geom.Coord(rng.Intn(int(window.W())+400)) - 200 + window.X0
+		y := geom.Coord(rng.Intn(int(window.H())+400)) - 200 + window.Y0
+		w := geom.Coord(rng.Intn(500))
+		h := geom.Coord(rng.Intn(500))
+		rects = append(rects, geom.R(x, y, x+w, y+h))
+	}
+	return rects
+}
+
+// TestComputeDensityIntoMatchesCompute is the pooling contract's property
+// test: a Density buffer reused across arbitrary inputs (shrinking and
+// growing grids, carrying stale cell values) always produces exactly
+// ComputeDensity's result, and the same holds for the canonical variants
+// with a reused Scratch.
+func TestComputeDensityIntoMatchesCompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var reused Density
+	var scratch Scratch
+	var canonReused Density
+	for iter := 0; iter < 300; iter++ {
+		window := geom.R(0, 0, 1200, 1200)
+		rects := randRects(rng, window, rng.Intn(12))
+		n := 1 + rng.Intn(9) // grid sizes 1..9 force grow/shrink cycles
+
+		want := ComputeDensity(rects, window, n)
+		ComputeDensityInto(&reused, rects, window, n)
+		densitiesEqual(t, "ComputeDensityInto", reused, want)
+
+		wantCanon := CanonicalDensity(rects, window, n)
+		CanonicalDensityInto(&canonReused, &scratch, rects, window, n)
+		densitiesEqual(t, "CanonicalDensityInto", canonReused, wantCanon)
+
+		key, den := CanonicalKeyDensity(rects, window, n)
+		if wantKey := CanonicalKey(rects, window); key != wantKey {
+			t.Fatalf("CanonicalKeyDensity key %q, want %q", key, wantKey)
+		}
+		densitiesEqual(t, "CanonicalKeyDensity", den, wantCanon)
+	}
+}
+
+// FuzzComputeDensityInto drives the pooled density path with arbitrary
+// geometry (degenerate and out-of-window rects included): the Into variant
+// must never panic and must match ComputeDensity exactly even when its
+// buffer carries a previous, differently-sized result.
+func FuzzComputeDensityInto(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{
+		0x2C, 0x01, 0x2C, 0x01, 0x84, 0x03, 0x84, 0x03, // 300,300 .. 900,900
+	})
+	f.Add([]byte{
+		0x64, 0x00, 0x64, 0x00, 0xC8, 0x00, 0x20, 0x03,
+		0x20, 0x03, 0x64, 0x00, 0x4C, 0x04, 0xC8, 0x00,
+		0x10, 0x01, 0x10, 0x01, 0x10, 0x01, 0x10, 0x01, // empty
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rects, window := fuzzGeometry(data)
+		n := 1 + len(data)%9
+
+		want := ComputeDensity(rects, window, n)
+		// Seed the reused buffer with a different grid so stale cells and a
+		// mismatched size must be handled.
+		var reused Density
+		ComputeDensityInto(&reused, nil, window, n+1)
+		ComputeDensityInto(&reused, rects, window, n)
+		densitiesEqual(t, "fuzz ComputeDensityInto", reused, want)
+
+		var scratch Scratch
+		var canon Density
+		CanonicalDensityInto(&canon, &scratch, rects, window, n)
+		densitiesEqual(t, "fuzz CanonicalDensityInto", canon, CanonicalDensity(rects, window, n))
+	})
+}
