@@ -5,7 +5,7 @@ GOVULNCHECK ?= govulncheck
 COVERPROFILE ?= cover.out
 BENCHCOUNT ?= 5
 
-.PHONY: all build vet test test-race test-shuffle fuzz bench bench-svm bench-svm-json bench-scan bench-train bench-extract bench-extract-json docs-check check lint cover cover-check e2e
+.PHONY: all build vet test test-race test-shuffle fuzz bench bench-svm bench-svm-json bench-scan bench-scan-incremental bench-train bench-extract bench-extract-json docs-check check lint cover cover-check e2e
 
 all: check
 
@@ -56,6 +56,15 @@ bench-svm-json:
 # from a quiet machine when the numbers move for a good reason.
 bench-scan:
 	$(GO) test -run='^$$' -bench='BenchmarkScanTiled' -benchtime=2x \
+		-count=$(BENCHCOUNT) -timeout 40m ./internal/core/
+
+# Incremental re-scan benchmarks: empty-store fill (cold) vs fully-cached
+# re-scan of an unchanged chip (warm). The warm/cold gap is the engine's
+# reason to exist; bench-scan-incremental-baseline.txt is the committed
+# benchstat baseline — refresh it from a quiet machine when the numbers
+# move for a good reason.
+bench-scan-incremental:
+	$(GO) test -run='^$$' -bench='BenchmarkScanIncremental' -benchtime=2x \
 		-count=$(BENCHCOUNT) -timeout 40m ./internal/core/
 
 # Clip-evaluation fast-path benchmarks (pooled scratch + exact pre-screen

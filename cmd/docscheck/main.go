@@ -3,11 +3,18 @@
 //
 //   - every relative link resolves to an existing file, and a #fragment
 //     resolves to a real heading anchor in the target (GitHub slug rules);
-//   - a curated list of common misspellings is absent from prose.
+//   - a curated list of common misspellings is absent from prose;
+//   - every metric name documented in a table under a "metric" heading
+//     (inline-code, dotted-lowercase, e.g. `scan.tiles_cached`) exists as
+//     a string literal in the repository's Go sources, so runbooks cannot
+//     drift from the telemetry they describe. Span metrics derived by
+//     obs.Begin (`stage.X.seconds`, `stage.X.items`) resolve through
+//     their base name.
 //
 // HTTP(S) and mailto links are not fetched (CI must not depend on the
-// network). Fenced code blocks and inline code spans are ignored for both
-// checks, so JSON snippets like [x0,y0,x1,y1] never false-positive.
+// network). Fenced code blocks and inline code spans are ignored for the
+// link and spelling checks, so JSON snippets like [x0,y0,x1,y1] never
+// false-positive.
 //
 // Usage:
 //
@@ -20,10 +27,13 @@ package main
 
 import (
 	"fmt"
+	"go/scanner"
+	"go/token"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 )
 
@@ -32,7 +42,7 @@ func main() {
 	if len(roots) == 0 {
 		roots = []string{"."}
 	}
-	var files []string
+	var files, goFiles []string
 	for _, root := range roots {
 		fi, err := os.Stat(root)
 		if err != nil {
@@ -53,8 +63,11 @@ func main() {
 				}
 				return nil
 			}
-			if strings.EqualFold(filepath.Ext(path), ".md") {
+			switch {
+			case strings.EqualFold(filepath.Ext(path), ".md"):
 				files = append(files, path)
+			case filepath.Ext(path) == ".go":
+				goFiles = append(goFiles, path)
 			}
 			return nil
 		})
@@ -62,6 +75,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
 			os.Exit(2)
 		}
+	}
+	literals, err := goStringLiterals(goFiles)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(2)
 	}
 
 	var findings []string
@@ -73,7 +91,7 @@ func main() {
 		}
 	}
 	for _, f := range files {
-		fs, err := checkFile(f, anchors)
+		fs, err := checkFile(f, anchors, literals)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
 			os.Exit(2)
@@ -94,8 +112,73 @@ var (
 	linkRE    = regexp.MustCompile(`\[[^\]]*\]\(([^()\s]+)\)`)
 	headingRE = regexp.MustCompile("^#{1,6}\\s+(.*)$")
 	inlineRE  = regexp.MustCompile("`[^`]*`")
+	spanRE    = regexp.MustCompile("`([^`]+)`")
 	wordRE    = regexp.MustCompile(`[A-Za-z]+`)
+	// metricRE matches a dotted lowercase metric identifier
+	// (scan.tiles_cached, dist.shards_cached, stage.scan.tiles.seconds).
+	metricRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$`)
 )
+
+// notMetricExt screens out metric-shaped file names (store.jsonl,
+// scan.go) that legitimately appear in operations tables.
+var notMetricExt = map[string]bool{
+	".go": true, ".md": true, ".txt": true, ".json": true, ".jsonl": true,
+	".yml": true, ".yaml": true, ".sh": true, ".out": true, ".ckpt": true,
+}
+
+// goStringLiterals collects every interpreted and raw string literal in
+// the given Go files — the universe a documented metric name must resolve
+// into. Tokenizing (rather than grepping) keeps literals in comments or
+// struct tags from vouching for a dead metric.
+func goStringLiterals(files []string) (map[string]bool, error) {
+	lits := map[string]bool{}
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		fset := token.NewFileSet()
+		var sc scanner.Scanner
+		sc.Init(fset.AddFile(path, fset.Base(), len(data)), data, nil, 0)
+		for {
+			_, tok, lit := sc.Scan()
+			if tok == token.EOF {
+				break
+			}
+			if tok != token.STRING {
+				continue
+			}
+			if s, err := strconv.Unquote(lit); err == nil {
+				lits[s] = true
+			}
+		}
+	}
+	return lits, nil
+}
+
+// metricKnown reports whether a documented metric name resolves to a Go
+// string literal. obs.Begin derives its span metrics from a base name —
+// Begin(tel, reg, "scan.tiles") emits stage.scan.tiles.seconds and
+// stage.scan.tiles.items — so those resolve through the base literal
+// after stripping the derived prefix and suffix.
+func metricKnown(name string, literals map[string]bool) bool {
+	if literals[name] {
+		return true
+	}
+	for _, suffix := range []string{".seconds", ".items"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		if literals[base] {
+			return true
+		}
+		if span, ok := strings.CutPrefix(base, "stage."); ok && literals[span] {
+			return true
+		}
+	}
+	return false
+}
 
 // misspellings maps common errors to their corrections. Curated: only
 // unambiguous misspellings belong here, never words with a legitimate
@@ -199,7 +282,7 @@ func slugify(heading string) string {
 	return b.String()
 }
 
-func checkFile(path string, anchorCache map[string]map[string]bool) ([]string, error) {
+func checkFile(path string, anchorCache map[string]map[string]bool, literals map[string]bool) ([]string, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -209,6 +292,7 @@ func checkFile(path string, anchorCache map[string]map[string]bool) ([]string, e
 		findings = append(findings, fmt.Sprintf("%s:%d: %s", path, lineNo, fmt.Sprintf(format, args...)))
 	}
 	inFence := false
+	inMetricSection := false
 	for i, line := range strings.Split(string(data), "\n") {
 		lineNo := i + 1
 		if strings.HasPrefix(strings.TrimSpace(line), "```") {
@@ -217,6 +301,23 @@ func checkFile(path string, anchorCache map[string]map[string]bool) ([]string, e
 		}
 		if inFence {
 			continue
+		}
+		if m := headingRE.FindStringSubmatch(line); m != nil {
+			inMetricSection = strings.Contains(strings.ToLower(m[1]), "metric")
+		}
+		// Metric-name drift check: inside a section whose heading mentions
+		// metrics, every metric-shaped inline code span in a table row must
+		// resolve to a Go string literal (see metricKnown).
+		if inMetricSection && strings.HasPrefix(strings.TrimSpace(line), "|") {
+			for _, m := range spanRE.FindAllStringSubmatch(line, -1) {
+				name := m[1]
+				if !metricRE.MatchString(name) || notMetricExt[filepath.Ext(name)] {
+					continue
+				}
+				if !metricKnown(name, literals) {
+					report(lineNo, "documented metric %q not found as a string literal in any Go source", name)
+				}
+			}
 		}
 		prose := inlineRE.ReplaceAllString(line, "")
 

@@ -40,7 +40,7 @@ func TestCheckFileFindings(t *testing.T) {
 			"```\n[fenced](also-missing.md) seperate\n```\n\n"+
 			"and `[inline](code-missing.md) occured` spans are skipped\n")
 
-	findings, err := checkFile(doc, map[string]map[string]bool{})
+	findings, err := checkFile(doc, map[string]map[string]bool{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,6 +56,84 @@ func TestCheckFileFindings(t *testing.T) {
 		if !strings.HasPrefix(f, doc+":4:") {
 			t.Errorf("finding %q should point at line 4", f)
 		}
+	}
+}
+
+func TestGoStringLiterals(t *testing.T) {
+	dir := t.TempDir()
+	src := write(t, dir, "a.go", `package a
+
+// A comment mentioning "ghost.metric" must not vouch for it.
+const real = "scan.tiles_cached"
+
+var raw = `+"`dist.shards_cached`"+`
+`)
+	lits, err := goStringLiterals([]string{src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lits["scan.tiles_cached"] || !lits["dist.shards_cached"] {
+		t.Fatalf("literals missing: %v", lits)
+	}
+	if lits["ghost.metric"] {
+		t.Fatal("comment text leaked into the literal set")
+	}
+}
+
+func TestMetricKnownDerivesSpanNames(t *testing.T) {
+	lits := map[string]bool{"scan.tiles": true, "scan.tiles_cached": true, "svm.train_seconds": true}
+	for _, name := range []string{
+		"scan.tiles_cached", "svm.train_seconds",
+		"stage.scan.tiles.seconds", "stage.scan.tiles.items", // obs.Begin("scan.tiles")
+		"scan.tiles.seconds", // a Histogram named through the base literal
+	} {
+		if !metricKnown(name, lits) {
+			t.Fatalf("metricKnown(%q) = false", name)
+		}
+	}
+	for _, name := range []string{"scan.ghost", "stage.scan.tiles.count", "stage.scan.ghost.seconds", "other.seconds"} {
+		if metricKnown(name, lits) {
+			t.Fatalf("metricKnown(%q) = true", name)
+		}
+	}
+}
+
+// TestCheckFileMetricTable pins the drift check end to end: metric-shaped
+// names in table rows under a "metric" heading must resolve to Go string
+// literals; names outside such sections, non-metric-shaped spans, and
+// file names are exempt.
+func TestCheckFileMetricTable(t *testing.T) {
+	dir := t.TempDir()
+	md := write(t, dir, "ops.md", strings.Join([]string{
+		"# Operations",
+		"",
+		"## Metrics",
+		"",
+		"| metric | meaning |",
+		"|---|---|",
+		"| `scan.tiles_cached` | tiles served from the store |",
+		"| `scan.tiles.seconds` | span histogram |",
+		"| `scan.phantom_total` | does not exist in Go |",
+		"| `store.jsonl` | a file name, exempt |",
+		"| `core.ScanTiled` | an identifier, not metric-shaped |",
+		"",
+		"## Elsewhere",
+		"",
+		"| `not.checked_here` | outside a metric section |",
+		"",
+		"Prose mentioning `another.phantom` is never checked.",
+	}, "\n"))
+	lits := map[string]bool{"scan.tiles_cached": true, "scan.tiles": true}
+
+	findings, err := checkFile(md, map[string]map[string]bool{}, lits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly the phantom metric", findings)
+	}
+	if !strings.Contains(findings[0], `"scan.phantom_total"`) {
+		t.Fatalf("finding %q does not name the phantom metric", findings[0])
 	}
 }
 

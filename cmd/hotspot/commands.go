@@ -207,9 +207,15 @@ func cmdDetect(args []string) error {
 	model := fs.String("model", "", "load a saved model instead of training")
 	bundleDir := fs.String("bundle", "", "evaluate a bundle directory instead of a generated benchmark")
 	stats, verbose, debugAddr := obsFlags(fs)
+	cpuProf, memProf := profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	var b *iccad.Benchmark
 	if *bundleDir != "" {
 		bd, err := bundle.Load(*bundleDir)

@@ -19,6 +19,7 @@ import (
 	"hotspot/internal/geom"
 	"hotspot/internal/iccad"
 	"hotspot/internal/obs"
+	"hotspot/internal/scan"
 )
 
 // cmdScan runs the chip-scale tiled scan pipeline: the layout is cut into
@@ -38,6 +39,8 @@ func cmdScan(args []string) error {
 	ckpt := fs.String("checkpoint", "", "journal completed tiles (or shards, with -backends) to this file")
 	resume := fs.Bool("resume", false, "replay a compatible -checkpoint journal before scanning")
 	mem := fs.Int64("mem", 0, "per-tile memory budget in bytes (0 = 64 MiB, negative = unbounded)")
+	storePath := fs.String("store", "", "persistent tile result store; tiles (or shards, with -backends) are journaled here keyed by content")
+	incremental := fs.Bool("incremental", false, "reuse compatible -store entries: evaluate only tiles whose geometry or model changed")
 	backends := fs.String("backends", "", "comma-separated hotspotd backends (host:port) for a distributed scan")
 	shardCount := fs.Int("shards", 0, "shard count for -backends (0 = 4 per backend)")
 	shardDeadline := fs.Duration("shard-deadline", 0, "per-shard attempt deadline for -backends (0 = 5m)")
@@ -50,6 +53,9 @@ func cmdScan(args []string) error {
 	}
 	if *resume && *ckpt == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	if *incremental && *storePath == "" {
+		return fmt.Errorf("-incremental requires -store")
 	}
 	if *gdsPath != "" && *model == "" {
 		return fmt.Errorf("-gds has no training clips; supply a trained model with -model")
@@ -120,12 +126,26 @@ func cmdScan(args []string) error {
 	}
 	trainDur := time.Since(t0)
 
+	// The store is keyed under the model digest: without -incremental a
+	// compatible store is wiped and rebuilt (mirroring -checkpoint without
+	// -resume); with it, entries whose content key still matches are
+	// spliced into the report without re-evaluating the tile.
+	var store *scan.Store
+	if *storePath != "" {
+		store, err = scan.OpenStore(*storePath, det.ModelDigest(), *incremental)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+	}
+
 	opts := core.ScanOptions{
 		Tile:         geom.Coord(*tile),
 		Workers:      *workers,
 		Checkpoint:   *ckpt,
 		Resume:       *resume,
 		TileMemBytes: *mem,
+		Store:        store,
 	}
 
 	// Ctrl-C / SIGTERM cancels the scan cooperatively: in-flight tiles
@@ -145,10 +165,11 @@ func cmdScan(args []string) error {
 			Resume:       *resume,
 			LocalWorkers: *workers,
 			Obs:          reg,
+			Store:        store,
 		}
 		rep, dst, err := dist.Scan(ctx, det, b.Test, dopts)
-		fmt.Printf("shards: %d/%d done (%d resumed, %d remote, %d local, %d empty; %d retries, %d redispatches)\n",
-			dst.ShardsDone, dst.Shards, dst.ShardsResumed, dst.ShardsRemote,
+		fmt.Printf("shards: %d/%d done (%d resumed, %d cached, %d remote, %d local, %d empty; %d retries, %d redispatches)\n",
+			dst.ShardsDone, dst.Shards, dst.ShardsResumed, dst.ShardsCached, dst.ShardsRemote,
 			dst.ShardsLocal, dst.ShardsEmpty, dst.Retries, dst.Redispatches)
 		for _, bs := range dst.Backends {
 			state := "up"
@@ -236,8 +257,8 @@ func finishScan(rep core.Report, st core.ScanStats, err error, b *iccad.Benchmar
 	if err != nil && !interrupted {
 		return err
 	}
-	fmt.Printf("tiles: %d/%d done (%d resumed, %d split)\n",
-		st.TilesDone, st.TilesTotal, st.TilesResumed, st.TilesSplit)
+	fmt.Printf("tiles: %d/%d done (%d resumed, %d cached, %d dirty, %d split)\n",
+		st.TilesDone, st.TilesTotal, st.TilesResumed, st.TilesCached, st.TilesDirty, st.TilesSplit)
 	fmt.Printf("candidates=%d flagged=%d reclaimed=%d hotspots=%d train=%s scan=%s\n",
 		rep.Candidates, rep.Flagged, rep.Reclaimed, len(rep.Hotspots),
 		trainDur.Round(time.Millisecond), rep.Runtime.Round(time.Millisecond))

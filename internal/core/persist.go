@@ -1,11 +1,14 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 
 	"hotspot/internal/features"
+	"hotspot/internal/geom"
 	"hotspot/internal/svm"
 	"hotspot/internal/topo"
 )
@@ -62,9 +65,9 @@ func (p persistedSVM) model() *svm.Model {
 	return &svm.Model{SVs: p.SVs, Coef: p.Coef, Rho: p.Rho, Gamma: p.Gamma}
 }
 
-// Save serializes the trained detector. The model is self-contained: Load
-// restores a detector that classifies identically without retraining.
-func (d *Detector) Save(w io.Writer) error {
+// persisted assembles the detector's complete serializable state — the
+// document Save writes and ModelDigest hashes.
+func (d *Detector) persisted() persistedModel {
 	pm := persistedModel{
 		Version:   modelFormatVersion,
 		Config:    d.config(),
@@ -85,8 +88,44 @@ func (d *Detector) Save(w io.Writer) error {
 		pm.Feedback = &fb
 		pm.FbSlots = d.feedback.slots
 	}
+	return pm
+}
+
+// Save serializes the trained detector. The model is self-contained: Load
+// restores a detector that classifies identically without retraining.
+func (d *Detector) Save(w io.Writer) error {
 	enc := json.NewEncoder(w)
-	return enc.Encode(pm)
+	return enc.Encode(d.persisted())
+}
+
+// ModelDigest returns a stable hex digest of everything that can change a
+// clip verdict: the trained kernels (support vectors, scalers, slots,
+// centroids), the feedback SVM, and the verdict-relevant configuration
+// (spec, layer, requirements, bias, RouteK, basic-kernel slots, selection
+// provenance). It is the identity the tile result store is keyed under
+// (see scan.OpenStore): two detectors with equal digests classify every
+// clip identically, so cached tile verdicts are interchangeable between
+// them.
+//
+// Fields that cannot affect a verdict are normalized out so they never
+// spuriously invalidate a store: worker count, the snap-grid origin
+// (derived per layout, already part of every tile key's coordinate
+// frame), and the prescreen toggle (the cascade is exact — verified by
+// TestPrescreenCascadeExact). Obs and Progress are excluded from the
+// serialized form already.
+func (d *Detector) ModelDigest() string {
+	pm := d.persisted()
+	pm.Config.Workers = 0
+	pm.Config.Requirements.SnapBase = geom.Point{}
+	pm.Config.DisablePrescreen = false
+	b, err := json.Marshal(pm)
+	if err != nil {
+		// persistedModel marshals from plain structs and slices; an error
+		// here is a programming bug, not a runtime condition.
+		panic(fmt.Sprintf("core: marshaling model digest: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
 }
 
 // Load restores a detector saved with Save.

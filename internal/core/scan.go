@@ -31,12 +31,27 @@ type ScanOptions struct {
 	// TileMemBytes is the per-tile memory budget (0 = default, negative =
 	// no adaptive splitting); see scan.Options.
 	TileMemBytes int64
+	// Store is an open tile result store consulted before each tile is
+	// evaluated and updated with fresh results; the caller owns its
+	// lifecycle (open it with Detector.OpenStore so the digest matches).
+	Store *scan.Store
+	// StorePath, when non-empty and Store is nil, opens (or creates) the
+	// tile result store at this path for the duration of the scan,
+	// reusing compatible cached entries — the incremental re-scan path
+	// (see ScanIncremental). Ignored when Store is set.
+	StorePath string
 }
 
 // ScanStats reports a tiled scan's orchestration counters alongside the
 // Report (which carries the detection outcome).
 type ScanStats struct {
 	TilesTotal, TilesDone, TilesResumed, TilesSplit int
+	// TilesCached were served from the tile result store; TilesDirty were
+	// evaluated and written back. Both are zero for scans without a store.
+	TilesCached, TilesDirty int
+	// Store summarizes the tile result store consulted by this scan;
+	// absent without one.
+	Store *scan.StoreStats `json:",omitempty"`
 }
 
 // ScanTiled evaluates a testing layout through the tiled scan pipeline.
@@ -46,6 +61,33 @@ type ScanStats struct {
 func (d *Detector) ScanTiled(l *layout.Layout, opts ScanOptions) (Report, error) {
 	rep, _, err := d.ScanTiledContext(context.Background(), l, opts)
 	return rep, err
+}
+
+// ScanIncremental is ScanTiled against a persistent tile result store: the
+// store at storePath is opened under this detector's ModelDigest, every
+// tile is re-fingerprinted, tiles whose halo geometry is unchanged are
+// served from the store, and only dirty tiles are evaluated (then written
+// back). The report is byte-identical to a cold ScanTiled of the same
+// layout — caching changes which tiles are computed, never what they
+// compute — locked by TestScanIncrementalMatchesCold. A store written by a
+// different model (or an older format) is discarded wholesale and rebuilt.
+func (d *Detector) ScanIncremental(l *layout.Layout, storePath string, opts ScanOptions) (Report, ScanStats, error) {
+	return d.ScanIncrementalContext(context.Background(), l, storePath, opts)
+}
+
+// ScanIncrementalContext is ScanIncremental with cooperative cancellation.
+func (d *Detector) ScanIncrementalContext(ctx context.Context, l *layout.Layout, storePath string, opts ScanOptions) (Report, ScanStats, error) {
+	opts.StorePath = storePath
+	return d.ScanTiledContext(ctx, l, opts)
+}
+
+// OpenStore opens (or creates) the tile result store at path under this
+// detector's ModelDigest, reusing compatible cached entries. Callers that
+// scan repeatedly (hotspotd, the distributed coordinator) hold one open
+// store across scans and pass it via ScanOptions.Store / dist's options;
+// one-shot callers can just set ScanOptions.StorePath.
+func (d *Detector) OpenStore(path string) (*scan.Store, error) {
+	return scan.OpenStore(path, d.ModelDigest(), true)
 }
 
 // ScanTiledContext is ScanTiled with cooperative cancellation and scan
@@ -99,6 +141,15 @@ func (d *Detector) scanWith(ctx context.Context, src scan.Source, opts ScanOptio
 	if workers <= 0 {
 		workers = cfg.Workers
 	}
+	store := opts.Store
+	if store == nil && opts.StorePath != "" {
+		var err error
+		store, err = d.OpenStore(opts.StorePath)
+		if err != nil {
+			return rep, stats, err
+		}
+		defer store.Close()
+	}
 	sp := obs.Begin(tel, cfg.Obs, "scan.tiles")
 	res, err := scan.Run(ctx, src, scan.Options{
 		Spec:           cfg.Spec,
@@ -109,6 +160,7 @@ func (d *Detector) scanWith(ctx context.Context, src scan.Source, opts ScanOptio
 		CheckpointPath: opts.Checkpoint,
 		Resume:         opts.Resume,
 		TileMemBytes:   opts.TileMemBytes,
+		Store:          store,
 		Obs:            cfg.Obs,
 	}, d.tileEvaluator(cfg))
 	stats = ScanStats{
@@ -116,12 +168,22 @@ func (d *Detector) scanWith(ctx context.Context, src scan.Source, opts ScanOptio
 		TilesDone:    res.TilesDone,
 		TilesResumed: res.TilesResumed,
 		TilesSplit:   res.TilesSplit,
+		TilesCached:  res.TilesCached,
+		TilesDirty:   res.TilesDirty,
+	}
+	if store != nil {
+		ss := store.Stats()
+		stats.Store = &ss
 	}
 	sp.AddItems(int64(res.TilesDone))
 	sp.End()
 	tel.AddCounter("scan.tiles_total", int64(res.TilesTotal))
 	tel.AddCounter("scan.tiles_resumed", int64(res.TilesResumed))
 	tel.AddCounter("scan.tiles_split", int64(res.TilesSplit))
+	if store != nil {
+		tel.AddCounter("scan.tiles_cached", int64(res.TilesCached))
+		tel.AddCounter("scan.tiles_dirty", int64(res.TilesDirty))
+	}
 
 	// Assemble the report even when err != nil: the partial candidates are
 	// the caller's progress picture, and the contract (like DetectContext's)
@@ -198,6 +260,15 @@ func (d *Detector) ScanShardContext(ctx context.Context, l *layout.Layout, windo
 	if workers <= 0 {
 		workers = cfg.Workers
 	}
+	store := opts.Store
+	if store == nil && opts.StorePath != "" {
+		var err error
+		store, err = d.OpenStore(opts.StorePath)
+		if err != nil {
+			return nil, ScanStats{}, err
+		}
+		defer store.Close()
+	}
 	res, err := scan.Run(ctx, scan.NewLayoutSource(l, cfg.Layer), scan.Options{
 		Spec:           cfg.Spec,
 		Layer:          cfg.Layer,
@@ -208,6 +279,7 @@ func (d *Detector) ScanShardContext(ctx context.Context, l *layout.Layout, windo
 		CheckpointPath: opts.Checkpoint,
 		Resume:         opts.Resume,
 		TileMemBytes:   opts.TileMemBytes,
+		Store:          store,
 		Obs:            cfg.Obs,
 	}, d.tileEvaluator(cfg))
 	stats := ScanStats{
@@ -215,6 +287,12 @@ func (d *Detector) ScanShardContext(ctx context.Context, l *layout.Layout, windo
 		TilesDone:    res.TilesDone,
 		TilesResumed: res.TilesResumed,
 		TilesSplit:   res.TilesSplit,
+		TilesCached:  res.TilesCached,
+		TilesDirty:   res.TilesDirty,
+	}
+	if store != nil {
+		ss := store.Stats()
+		stats.Store = &ss
 	}
 	return res.Candidates, stats, err
 }

@@ -26,6 +26,20 @@
 // Shard evaluation is pure and idempotent, which is what makes re-dispatch
 // after a mid-stream drop safe: a shard that was half-served on a dying
 // backend re-executes anywhere with a bit-identical result.
+//
+// The same purity powers the coordinator-side incremental cache
+// (Options.Store): each shard's merged candidates are remembered in a
+// content-addressed tile result store under a scan.ShardKey — the shard
+// window plus its halo geometry, snap-base-relative, tagged with the tile
+// side — so a fleet re-scan of a lightly edited chip dispatches only the
+// shards whose geometry changed and splices the cached candidates of the
+// rest straight into the merge. Caching is at shard granularity (not tile)
+// because a backend returns one seam-deduplicated set per shard; the
+// merged report stays byte-identical to a cold run because the cached sets
+// are the very sets a backend would return. The store must be opened under
+// the coordinator detector's ModelDigest (core.Detector.OpenStore), which
+// also guards against a drifted fleet: backends serving a different model
+// are a deployment error regardless of caching.
 package dist
 
 import (
@@ -104,6 +118,14 @@ type Options struct {
 	// re-dispatched.
 	Checkpoint string
 	Resume     bool
+	// Store, when non-nil, is the coordinator-side tile result store:
+	// shards whose ShardKey hits the store are spliced from cache instead
+	// of dispatched, and freshly completed shards are written back. Open
+	// it with core.Detector.OpenStore so its digest matches the model the
+	// fleet serves; the caller owns its lifecycle. Unlike Checkpoint
+	// (scoped to resuming one scan), the store persists across scans and
+	// layout edits.
+	Store *scan.Store
 	// NoLocalFallback disables the graceful degradation that evaluates
 	// leftover shards on the coordinator when every backend is down; the
 	// scan then fails with ErrAllBackendsDown instead.
@@ -181,8 +203,13 @@ type Stats struct {
 	Shards, ShardsDone int
 	// ShardsResumed replayed from the checkpoint journal; ShardsRemote
 	// were served by backends; ShardsLocal ran on the coordinator
-	// (fallback); ShardsEmpty held no geometry and were skipped outright.
-	ShardsResumed, ShardsRemote, ShardsLocal, ShardsEmpty int
+	// (fallback); ShardsEmpty held no geometry and were skipped outright;
+	// ShardsCached were spliced from the tile result store without being
+	// dispatched.
+	ShardsResumed, ShardsRemote, ShardsLocal, ShardsEmpty, ShardsCached int
+	// Store summarizes the coordinator-side tile result store; absent
+	// without one.
+	Store *scan.StoreStats
 	// Retries counts in-place transient retries; Redispatches counts
 	// shards re-queued off a dead backend onto a survivor.
 	Retries, Redispatches int
@@ -254,7 +281,11 @@ func Scan(ctx context.Context, det *core.Detector, l *layout.Layout, opts Option
 	}
 
 	// Enqueue the work: journaled shards replay, geometry-free shards
-	// complete outright, the rest go to the dispatch queue.
+	// complete outright, store hits splice from cache, and the rest go to
+	// the dispatch queue. Store keys are computed here, once, in the
+	// single-goroutine setup phase; workers only read them.
+	c.store = opts.Store
+	c.moveCell = cfg.Requirements.SnapGrid <= 0
 	for _, sh := range shards {
 		if c.jn != nil {
 			if cands, ok := c.jn.Replay(sh); ok {
@@ -267,9 +298,22 @@ func Scan(ctx context.Context, det *core.Detector, l *layout.Layout, opts Option
 				continue
 			}
 		}
-		if len(l.Query(cfg.Layer, sh.Expand(c.halo), nil)) == 0 {
+		rects := l.Query(cfg.Layer, sh.Expand(c.halo), nil)
+		if len(rects) == 0 {
 			c.complete(sh, nil, core.ScanStats{}, shardEmpty)
 			continue
+		}
+		if c.store != nil {
+			key := scan.ShardKey(sh, rects, snap, tile)
+			if c.keys == nil {
+				c.keys = map[geom.Rect]string{}
+			}
+			c.keys[sh] = key
+			if rel, ok := c.store.Get(key); ok {
+				c.reg.Counter("dist.shards_cached").Inc()
+				c.complete(sh, scan.RelocateCandidates(rel, snap.X, snap.Y, c.moveCell), core.ScanStats{}, shardCached)
+				continue
+			}
 		}
 		c.pending++
 		c.queue <- sh
@@ -318,6 +362,10 @@ func Scan(ctx context.Context, det *core.Detector, l *layout.Layout, opts Option
 	for _, b := range backends {
 		stats.Backends = append(stats.Backends, b.status())
 	}
+	if opts.Store != nil {
+		ss := opts.Store.Stats()
+		stats.Store = &ss
+	}
 
 	c.reg.Counter("dist.candidates").Add(int64(len(merged)))
 	tel := &rep.Telemetry
@@ -350,6 +398,14 @@ type coordinator struct {
 	halo geom.Coord
 	reg  *obs.Registry
 	jn   *scan.Journal
+	// store is the coordinator-side shard result cache; keys maps each
+	// shard window to its content key (computed once during enqueue,
+	// read-only afterwards). moveCell mirrors clip.KeyFor's coordinate
+	// frame: with snap-grid dedup disabled, dedup cells are absolute
+	// anchors and relocate with the candidates.
+	store    *scan.Store
+	keys     map[geom.Rect]string
+	moveCell bool
 
 	queue  chan geom.Rect
 	done   chan struct{} // closed when every shard completed or a fatal error hit
@@ -372,6 +428,7 @@ const (
 	shardRemote shardKind = iota
 	shardLocal
 	shardEmpty
+	shardCached
 )
 
 // worker is one backend dispatch loop: pull a shard, execute it with
@@ -537,9 +594,17 @@ func (c *coordinator) drainLocal(ctx context.Context) {
 	}
 }
 
-// complete records one finished shard: journal it, fold its candidates and
-// tile counters in, and close done when it was the last.
+// complete records one finished shard: write it back to the store,
+// journal it, fold its candidates and tile counters in, and close done
+// when it was the last.
 func (c *coordinator) complete(sh geom.Rect, cands []scan.Candidate, tiles core.ScanStats, kind shardKind) {
+	if c.store != nil && (kind == shardRemote || kind == shardLocal) {
+		rel := scan.RelocateCandidates(cands, -c.snap.X, -c.snap.Y, c.moveCell)
+		if err := c.store.Put(c.keys[sh], rel); err != nil {
+			c.fail(err)
+			return
+		}
+	}
 	if c.jn != nil {
 		if err := c.jn.Append(sh, cands); err != nil {
 			c.fail(err)
@@ -558,12 +623,14 @@ func (c *coordinator) complete(sh geom.Rect, cands []scan.Candidate, tiles core.
 		c.stats.ShardsLocal++
 	case shardEmpty:
 		c.stats.ShardsEmpty++
+	case shardCached:
+		c.stats.ShardsCached++
 	}
 	c.stats.Tiles.TilesTotal += tiles.TilesTotal
 	c.stats.Tiles.TilesDone += tiles.TilesDone
 	c.stats.Tiles.TilesResumed += tiles.TilesResumed
 	c.stats.Tiles.TilesSplit += tiles.TilesSplit
-	if kind != shardEmpty {
+	if kind != shardEmpty && kind != shardCached {
 		c.pending--
 		if c.pending == 0 && !c.doneClosed {
 			c.doneClosed = true

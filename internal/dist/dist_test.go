@@ -545,3 +545,63 @@ func TestShardBands(t *testing.T) {
 		t.Fatalf("empty bounds produced bands %v", bands)
 	}
 }
+
+// TestShardStoreCache pins the coordinator-side incremental cache: a
+// second scan against the store the first one filled completes every
+// non-empty shard from cache — zero backend traffic — with the exact
+// report, and an edit-free store survives coordinator restarts (each Scan
+// call here is a fresh coordinator).
+func TestShardStoreCache(t *testing.T) {
+	b, det, want := fixture(t)
+	store, err := det.OpenStore(filepath.Join(t.TempDir(), "dist.store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	srv := newBackendServer(t, det)
+	rep, st, err := Scan(context.Background(), det, b.Test, Options{
+		Backends: []string{srv.URL}, Shards: 4, Tile: fixTile,
+		Store: store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportsEqual(t, "store-fill run", rep, want)
+	if st.ShardsCached != 0 {
+		t.Fatalf("first run served %d shards from an empty store", st.ShardsCached)
+	}
+	if st.Store == nil || st.Store.Entries != st.ShardsRemote {
+		t.Fatalf("store stats after fill: %+v (want %d entries)", st.Store, st.ShardsRemote)
+	}
+
+	// Second coordinator run: a counting backend proves no shard is shipped.
+	var scans atomic.Int32
+	real := newBackendHandler(t, det)
+	counting := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/scan" {
+			scans.Add(1)
+		}
+		real.ServeHTTP(w, r)
+	}))
+	t.Cleanup(counting.Close)
+
+	reg := obs.NewRegistry()
+	rep2, st2, err := Scan(context.Background(), det, b.Test, Options{
+		Backends: []string{counting.URL}, Shards: 4, Tile: fixTile,
+		Store: store, Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportsEqual(t, "cached run", rep2, want)
+	if st2.ShardsCached+st2.ShardsEmpty != st2.Shards {
+		t.Fatalf("%d cached + %d empty of %d shards, want everything cached", st2.ShardsCached, st2.ShardsEmpty, st2.Shards)
+	}
+	if n := scans.Load(); n != 0 {
+		t.Fatalf("cached run shipped %d shards to the backend, want 0", n)
+	}
+	if got := reg.CounterValues()["dist.shards_cached"]; got != int64(st2.ShardsCached) {
+		t.Fatalf("dist.shards_cached = %d, want %d", got, st2.ShardsCached)
+	}
+}

@@ -14,6 +14,19 @@
 // extraction (clip.DedupCanonical is associative, so per-tile dedup plus
 // one seam pass reproduces the global pass), and a resumed run replays
 // journaled tiles byte-for-byte instead of rescanning them.
+//
+// Two persistence layers ride on that purity:
+//
+//   - the checkpoint Journal (Options.CheckpointPath) records this run's
+//     completed tiles, so an interrupted scan resumes without rework; it
+//     is scoped to one scan of one layout, and
+//   - the tile result Store (Options.Store) is a content-addressed cache
+//     that outlives runs: each tile's verdicts are keyed by TileKey — a
+//     snap-base-relative fingerprint of the tile's halo geometry — under
+//     a model/config digest, so a re-scan after a small edit evaluates
+//     only the tiles whose geometry actually changed and splices the
+//     cached verdicts into the same seam-dedup merge, producing a report
+//     byte-identical to a cold scan (see core.ScanIncremental).
 package scan
 
 import (
@@ -76,6 +89,13 @@ type Options struct {
 	// TileMemBytes is the per-tile memory budget; 0 means
 	// DefaultTileMemBytes, negative disables adaptive splitting.
 	TileMemBytes int64
+	// Store, when non-nil, is the content-addressed tile result store:
+	// before evaluating a tile the pipeline computes its TileKey and
+	// serves a hit from the store (scan.tiles_cached); misses are
+	// evaluated and written back (scan.tiles_dirty). The caller owns the
+	// store's lifecycle and must have opened it under the digest of the
+	// model backing the TileFunc.
+	Store *Store
 	// Obs receives scan counters (scan.tiles_done et al.) and tile timing
 	// histograms; nil disables them at zero cost.
 	Obs *obs.Registry
@@ -125,6 +145,11 @@ type Result struct {
 	// from the checkpoint, and TilesSplit were subdivided for exceeding
 	// the memory budget (and are not counted in TilesTotal).
 	TilesTotal, TilesDone, TilesResumed, TilesSplit int
+	// TilesCached and TilesDirty partition the store-consulting tiles of
+	// a scan with Options.Store: cached tiles were served from the store,
+	// dirty ones were evaluated and written back. Both are zero without a
+	// store.
+	TilesCached, TilesDirty int
 }
 
 // Run executes a tiled scan over src. Tiles are distributed across a
@@ -192,7 +217,7 @@ func Run(ctx context.Context, src Source, opts Options, eval TileFunc) (Result, 
 					pool.finish()
 					return
 				}
-				cands, replayed, split, err := runTile(ctx, src, opts, eval, tile, jn, pool, w)
+				cands, outcome, err := runTile(ctx, src, opts, eval, tile, jn, pool, w)
 				if err != nil {
 					fail(err)
 					pool.stop()
@@ -200,16 +225,22 @@ func Run(ctx context.Context, src Source, opts Options, eval TileFunc) (Result, 
 					return
 				}
 				mu.Lock()
-				switch {
-				case split:
+				switch outcome {
+				case tileSplit:
 					res.TilesSplit++
 				default:
 					res.TilesTotal++
 					res.TilesDone++
-					if replayed {
+					switch outcome {
+					case tileReplayed:
 						res.TilesResumed++
-					} else {
+					case tileCached:
+						res.TilesCached++
+					default:
 						reg.Counter("scan.tiles_done").Inc()
+						if opts.Store != nil {
+							res.TilesDirty++
+						}
 					}
 					all = append(all, cands...)
 				}
@@ -220,6 +251,9 @@ func Run(ctx context.Context, src Source, opts Options, eval TileFunc) (Result, 
 	}
 	wg.Wait()
 
+	if opts.Store != nil {
+		reg.Gauge("scan.store_bytes").Set(opts.Store.Stats().Bytes)
+	}
 	res.Candidates = MergeSeams(all)
 	reg.Counter("scan.candidates").Add(int64(len(res.Candidates)))
 	if runErr != nil {
@@ -228,15 +262,25 @@ func Run(ctx context.Context, src Source, opts Options, eval TileFunc) (Result, 
 	return res, ctx.Err()
 }
 
+// tileOutcome reports how runTile disposed of a tile.
+type tileOutcome int
+
+const (
+	tileEvaluated tileOutcome = iota // evaluated by the TileFunc
+	tileReplayed                     // served from the checkpoint journal
+	tileCached                       // served from the tile result store
+	tileSplit                        // subdivided; quadrants re-queued
+)
+
 // runTile processes one tile: checkpoint replay, halo-window loading,
-// memory-budget splitting, evaluation, and journaling. split reports that
-// the tile was subdivided (its quadrants were re-queued) instead of
-// evaluated.
-func runTile(ctx context.Context, src Source, opts Options, eval TileFunc, tile geom.Rect, jn *Journal, pool *stealPool, w int) (cands []Candidate, replayed, split bool, err error) {
+// memory-budget splitting, store lookup, evaluation, and journaling. A
+// tileSplit outcome means the tile was subdivided (its quadrants were
+// re-queued) instead of evaluated.
+func runTile(ctx context.Context, src Source, opts Options, eval TileFunc, tile geom.Rect, jn *Journal, pool *stealPool, w int) ([]Candidate, tileOutcome, error) {
 	if jn != nil {
 		if cands, ok := jn.Replay(tile); ok {
 			opts.Obs.Counter("scan.tiles_resumed").Inc()
-			return cands, true, false, nil
+			return cands, tileReplayed, nil
 		}
 	}
 
@@ -247,13 +291,13 @@ func runTile(ctx context.Context, src Source, opts Options, eval TileFunc, tile 
 	est := src.EstimateRects(halo)
 	if splitTile(pool, w, opts, tile, est) {
 		opts.Obs.Counter("scan.tiles_split").Inc()
-		return nil, false, true, nil
+		return nil, tileSplit, nil
 	}
 
 	start := time.Now()
 	tl, err := src.Window(halo)
 	if err != nil {
-		return nil, false, false, fmt.Errorf("scan: loading tile %v: %w", tile, err)
+		return nil, tileEvaluated, fmt.Errorf("scan: loading tile %v: %w", tile, err)
 	}
 	// Sources that could not estimate (est < 0) load a fresh per-window
 	// layout, whose rect count is the halo's true footprint. Sources that
@@ -261,20 +305,51 @@ func runTile(ctx context.Context, src Source, opts Options, eval TileFunc, tile 
 	// NumRects must not be mistaken for the halo's.
 	if est < 0 && splitTile(pool, w, opts, tile, tl.NumRects()) {
 		opts.Obs.Counter("scan.tiles_split").Inc()
-		return nil, false, true, nil
+		return nil, tileSplit, nil
 	}
 
-	cands, err = eval(ctx, tl, tile)
+	// The store lookup sits after splitting (so keys name the tiles that
+	// are actually evaluated — splitting is deterministic, so a re-scan
+	// re-derives the same quadrants) and covers exactly the purity
+	// contract: the tile rect plus the full extents of the halo geometry,
+	// snap-base-relative. moveCell mirrors clip.KeyFor: with the snap grid
+	// disabled the dedup cell is the absolute anchor and must be
+	// relocated with it.
+	var storeKey string
+	moveCell := opts.Req.SnapGrid <= 0
+	if opts.Store != nil {
+		rects := tl.Query(opts.Layer, halo, nil)
+		storeKey = TileKey(tile, rects, opts.Req.SnapBase)
+		if rel, ok := opts.Store.Get(storeKey); ok {
+			opts.Obs.Counter("scan.tiles_cached").Inc()
+			cands := RelocateCandidates(rel, opts.Req.SnapBase.X, opts.Req.SnapBase.Y, moveCell)
+			if jn != nil {
+				if err := jn.Append(tile, cands); err != nil {
+					return nil, tileEvaluated, err
+				}
+			}
+			return cands, tileCached, nil
+		}
+	}
+
+	cands, err := eval(ctx, tl, tile)
 	if err != nil {
-		return nil, false, false, err
+		return nil, tileEvaluated, err
+	}
+	if opts.Store != nil {
+		rel := RelocateCandidates(cands, -opts.Req.SnapBase.X, -opts.Req.SnapBase.Y, moveCell)
+		if err := opts.Store.Put(storeKey, rel); err != nil {
+			return nil, tileEvaluated, err
+		}
+		opts.Obs.Counter("scan.tiles_dirty").Inc()
 	}
 	if jn != nil {
 		if err := jn.Append(tile, cands); err != nil {
-			return nil, false, false, err
+			return nil, tileEvaluated, err
 		}
 	}
 	opts.Obs.Histogram("scan.tile_seconds").ObserveDuration(time.Since(start))
-	return cands, false, false, nil
+	return cands, tileEvaluated, nil
 }
 
 // splitTile decides whether a tile with nrects halo rectangles exceeds the

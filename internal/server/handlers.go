@@ -47,26 +47,35 @@ type detectResponse struct {
 // dissection anchors derive from each rectangle's true extent) and set
 // SnapBase to the full layout's geometry-bounds low corner so every shard
 // anchors the same snap-dedup grid.
+//
+// Incremental opts out of the server's tile result store for this request
+// (false forces every tile to be evaluated fresh and does not write the
+// results back); absent or true, a server configured with a store serves
+// unchanged tiles from it. Ignored when the server has no store.
 type scanRequest struct {
-	Name     string          `json:"name,omitempty"`
-	Layer    *layout.Layer   `json:"layer,omitempty"`
-	Rects    [][4]geom.Coord `json:"rects"`
-	Tiled    *bool           `json:"tiled,omitempty"`
-	Tile     geom.Coord      `json:"tile,omitempty"`
-	Window   *[4]geom.Coord  `json:"window,omitempty"`
-	SnapBase *[2]geom.Coord  `json:"snap_base,omitempty"`
+	Name        string          `json:"name,omitempty"`
+	Layer       *layout.Layer   `json:"layer,omitempty"`
+	Rects       [][4]geom.Coord `json:"rects"`
+	Tiled       *bool           `json:"tiled,omitempty"`
+	Tile        geom.Coord      `json:"tile,omitempty"`
+	Window      *[4]geom.Coord  `json:"window,omitempty"`
+	SnapBase    *[2]geom.Coord  `json:"snap_base,omitempty"`
+	Incremental *bool           `json:"incremental,omitempty"`
 }
 
 // scanResponse wraps the detection report with the scanned geometry size.
 // Tiled reports which pipeline ran; Tiles carries the tile counters of a
 // tiled run (absent otherwise). Candidates is the raw per-shard candidate
 // set of a window request (absent for whole-layout scans, whose outcome is
-// the Report).
+// the Report). Store summarizes the server's tile result store when one
+// served this scan: cached/dirty tile counts live in Tiles, the store's
+// size and hit totals here.
 type scanResponse struct {
 	Rects      int              `json:"rects"`
 	Report     core.Report      `json:"report"`
 	Tiled      bool             `json:"tiled,omitempty"`
 	Tiles      *core.ScanStats  `json:"tiles,omitempty"`
+	Store      *scan.StoreStats `json:"store,omitempty"`
 	Candidates []scan.Candidate `json:"candidates,omitempty"`
 }
 
@@ -79,6 +88,10 @@ type reloadRequest struct {
 type reloadResponse struct {
 	Path    string `json:"path"`
 	Kernels int    `json:"kernels"`
+	// Digest is the loaded model's verdict digest (core.ModelDigest) —
+	// the identity the tile result store is keyed under, so operators can
+	// tell whether a reload invalidated the store.
+	Digest  string `json:"digest"`
 	Reloads int64  `json:"reloads"`
 	// Selection summarizes the cross-validated model-selection provenance
 	// carried by the loaded artifact; absent for models trained with fixed
@@ -256,8 +269,12 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
+	store := s.scanStore()
+	if req.Incremental != nil && !*req.Incremental {
+		store = nil
+	}
 	if req.Window != nil {
-		s.handleScanWindow(ctx, w, det, l, &req)
+		s.handleScanWindow(ctx, w, det, l, &req, store)
 		return
 	}
 	tiled := s.cfg.TiledScanRects > 0 && l.NumRects() >= s.cfg.TiledScanRects
@@ -268,8 +285,9 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	var err error
 	if tiled {
 		var stats core.ScanStats
-		resp.Report, stats, err = det.ScanTiledContext(ctx, l, core.ScanOptions{Tile: req.Tile})
+		resp.Report, stats, err = det.ScanTiledContext(ctx, l, core.ScanOptions{Tile: req.Tile, Store: store})
 		resp.Tiles = &stats
+		resp.Store = stats.Store
 	} else {
 		resp.Report, err = det.DetectContext(ctx, l)
 	}
@@ -289,7 +307,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 // returned for the coordinator to merge. SnapBase defaults to the posted
 // geometry's own bounds for direct callers, but coordinators always send
 // the whole-chip origin explicitly.
-func (s *Server) handleScanWindow(ctx context.Context, w http.ResponseWriter, det *core.Detector, l *layout.Layout, req *scanRequest) {
+func (s *Server) handleScanWindow(ctx context.Context, w http.ResponseWriter, det *core.Detector, l *layout.Layout, req *scanRequest, store *scan.Store) {
 	win := geom.R(req.Window[0], req.Window[1], req.Window[2], req.Window[3])
 	if win.Empty() {
 		writeError(w, http.StatusBadRequest, "empty scan window %v", *req.Window)
@@ -300,7 +318,7 @@ func (s *Server) handleScanWindow(ctx context.Context, w http.ResponseWriter, de
 	if req.SnapBase != nil {
 		snap = geom.Pt(req.SnapBase[0], req.SnapBase[1])
 	}
-	cands, stats, err := det.ScanShardContext(ctx, l, win, snap, core.ScanOptions{Tile: req.Tile})
+	cands, stats, err := det.ScanShardContext(ctx, l, win, snap, core.ScanOptions{Tile: req.Tile, Store: store})
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			writeCtxError(w, err)
@@ -316,6 +334,7 @@ func (s *Server) handleScanWindow(ctx context.Context, w http.ResponseWriter, de
 		Rects:      l.NumRects(),
 		Tiled:      true,
 		Tiles:      &stats,
+		Store:      stats.Store,
 		Candidates: cands,
 	})
 }
@@ -341,10 +360,14 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	s.swap(det)
+	if err := s.swap(det); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	writeJSON(w, http.StatusOK, reloadResponse{
 		Path:      path,
 		Kernels:   det.NumKernels(),
+		Digest:    det.ModelDigest(),
 		Reloads:   s.reloads.Load(),
 		Selection: summarizeSelection(det.Selection()),
 	})

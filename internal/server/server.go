@@ -32,6 +32,7 @@ import (
 	"hotspot/internal/clip"
 	"hotspot/internal/core"
 	"hotspot/internal/obs"
+	"hotspot/internal/scan"
 )
 
 // Config parameterizes the server. The zero value is usable: every field
@@ -76,6 +77,14 @@ type Config struct {
 	// still request tiling explicitly). Progress is visible while a scan
 	// runs as the scan.tiles_done counter under /debug/vars.
 	TiledScanRects int
+	// StorePath, when non-empty, maintains a persistent tile result store
+	// at this path: tiled /v1/scan requests (whole-layout and window
+	// alike) serve unchanged tiles from the store and evaluate only dirty
+	// ones, with cache counters in the response. The store is keyed under
+	// the served model's digest; /v1/reload with a different model
+	// invalidates and rebuilds it. Clients opt out per request with
+	// "incremental": false.
+	StorePath string
 
 	// Obs receives the server's HTTP and queue metrics and is wired into
 	// the served detector. nil allocates a fresh registry so /debug/vars
@@ -132,11 +141,14 @@ type Server struct {
 	cfg Config
 	reg *obs.Registry
 
-	// mu guards det: /v1/reload swaps the detector while /v1/detect and
+	// mu guards det and store: /v1/reload swaps the detector (and, on a
+	// model change, the tile result store it keys) while /v1/detect and
 	// /v1/scan hold read snapshots, mirroring the Detector's own RWMutex
 	// discipline for its config.
-	mu  sync.RWMutex
-	det *core.Detector
+	mu          sync.RWMutex
+	det         *core.Detector
+	store       *scan.Store
+	storeDigest string
 
 	pool    *pool
 	scanSem chan struct{}
@@ -163,19 +175,28 @@ func NewWithDetector(det *core.Detector, cfg Config) (*Server, error) {
 	if det == nil {
 		return nil, fmt.Errorf("server: nil detector")
 	}
-	return newServer(det, nil, cfg), nil
+	return newServer(det, nil, cfg)
 }
 
 // newServer is the shared constructor; classify overrides the pool's
 // classification function (tests inject slow or gated classifiers here —
 // nil means "classify with the current detector").
-func newServer(det *core.Detector, classify func(*clip.Pattern) clip.Label, cfg Config) *Server {
+func newServer(det *core.Detector, classify func(*clip.Pattern) clip.Label, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
 		reg:     cfg.Obs,
 		det:     det,
 		scanSem: make(chan struct{}, cfg.ScanConcurrency),
+	}
+	if cfg.StorePath != "" {
+		digest := det.ModelDigest()
+		st, err := scan.OpenStore(cfg.StorePath, digest, true)
+		if err != nil {
+			return nil, fmt.Errorf("server: opening tile result store: %w", err)
+		}
+		s.store = st
+		s.storeDigest = digest
 	}
 	det.SetObs(s.reg)
 	var classifyBatch func([]*clip.Pattern) []clip.Label
@@ -192,7 +213,7 @@ func newServer(det *core.Detector, classify func(*clip.Pattern) clip.Label, cfg 
 	s.pool = newPool(cfg.Workers, cfg.QueueSize, cfg.BatchSize, cfg.BatchWait, classify, classifyBatch, s.reg)
 	s.reg.PublishExpvar("hotspotd")
 	s.ready.Store(true)
-	return s
+	return s, nil
 }
 
 func loadModel(path string) (*core.Detector, error) {
@@ -216,14 +237,43 @@ func (s *Server) detector() *core.Detector {
 }
 
 // swap installs a new detector; in-flight requests finish on the one they
-// started with.
-func (s *Server) swap(det *core.Detector) {
+// started with. When the server maintains a tile result store and the new
+// model's digest differs, the store is reopened under the new digest —
+// which discards every cached verdict, since a different model can flip
+// any of them. A store that fails to reopen fails the swap, leaving the
+// old detector and store serving.
+func (s *Server) swap(det *core.Detector) error {
 	det.SetObs(s.reg)
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.StorePath != "" {
+		if digest := det.ModelDigest(); digest != s.storeDigest {
+			st, err := scan.OpenStore(s.cfg.StorePath, digest, true)
+			if err != nil {
+				return fmt.Errorf("server: reopening tile result store: %w", err)
+			}
+			// The old store is deliberately not closed here: an in-flight
+			// scan may still hold it. Its file was atomically replaced by
+			// the reopen (write-then-rename), so late writes land in the
+			// discarded inode; the handle is released when the last
+			// reference drops.
+			s.store = st
+			s.storeDigest = digest
+			s.reg.Counter("server.store_invalidations").Inc()
+		}
+	}
 	s.det = det
-	s.mu.Unlock()
 	s.reloads.Add(1)
 	s.reg.Counter("server.reloads").Inc()
+	return nil
+}
+
+// scanStore returns the server's tile result store (reload-safe snapshot;
+// nil when Config.StorePath is unset).
+func (s *Server) scanStore() *scan.Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.store
 }
 
 // Handler returns the server's complete HTTP surface. The mux is
@@ -273,6 +323,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		// Listener failure: nothing to drain but the pool.
 		s.ready.Store(false)
 		s.pool.shutdown()
+		s.closeStore()
 		return err
 	case <-ctx.Done():
 	}
@@ -281,13 +332,26 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	defer cancel()
 	err := srv.Shutdown(shutdownCtx)
 	s.pool.shutdown()
+	s.closeStore()
 	<-errc // always http.ErrServerClosed after Shutdown
 	return err
 }
 
-// Close releases the worker pool without serving (for embedders that only
-// used Handler). Idempotent.
+// Close releases the worker pool and the tile result store without
+// serving (for embedders that only used Handler). Idempotent.
 func (s *Server) Close() {
 	s.ready.Store(false)
 	s.pool.shutdown()
+	s.closeStore()
+}
+
+// closeStore flushes and releases the tile result store. Idempotent; runs
+// after drain, when no scan holds the store.
+func (s *Server) closeStore() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store != nil {
+		s.store.Close()
+		s.store = nil
+	}
 }

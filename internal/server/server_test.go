@@ -53,7 +53,10 @@ func fixture(t testing.TB) (*iccad.Benchmark, *core.Detector) {
 func testServer(t testing.TB, classify func(*clip.Pattern) clip.Label, cfg Config) *Server {
 	t.Helper()
 	_, det := fixture(t)
-	s := newServer(det, classify, cfg)
+	s, err := newServer(det, classify, cfg)
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
 	t.Cleanup(s.Close)
 	return s
 }
@@ -763,5 +766,69 @@ func TestScanEndpointWindow(t *testing.T) {
 	resp, data = postJSON(t, ts.URL+"/v1/scan", &buf)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("empty window: status %d (%s), want 400", resp.StatusCode, data)
+	}
+}
+
+// TestScanEndpointStore pins the server-side incremental path: with
+// Config.StorePath set, the first tiled /v1/scan fills the store, the
+// second is served from it tile-for-tile with an identical report, and
+// "incremental": false opts a request out entirely.
+func TestScanEndpointStore(t *testing.T) {
+	b, det := fixture(t)
+	s := testServer(t, nil, Config{
+		RequestTimeout: 10 * time.Minute,
+		StorePath:      filepath.Join(t.TempDir(), "store.jsonl"),
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	tiledScan := func(incremental *bool) scanResponse {
+		t.Helper()
+		layer := b.Layer
+		req := scanRequest{Name: "scan_test", Layer: &layer, Tiled: boolPtr(true), Tile: 16000, Incremental: incremental}
+		for _, r := range b.Test.Rects(layer) {
+			req.Rects = append(req.Rects, [4]geom.Coord{r.X0, r.Y0, r.X1, r.Y1})
+		}
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(req); err != nil {
+			t.Fatal(err)
+		}
+		resp, data := postJSON(t, ts.URL+"/v1/scan", &buf)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+		var sr scanResponse
+		if err := json.Unmarshal(data, &sr); err != nil {
+			t.Fatalf("decoding scan response: %v", err)
+		}
+		return sr
+	}
+
+	first := tiledScan(nil)
+	if first.Store == nil || first.Store.Entries == 0 {
+		t.Fatalf("first scan reported no store stats: %+v", first.Store)
+	}
+	if first.Tiles.TilesCached != 0 || first.Tiles.TilesDirty != first.Tiles.TilesTotal {
+		t.Fatalf("first scan against an empty store: %+v", first.Tiles)
+	}
+
+	second := tiledScan(nil)
+	if second.Tiles.TilesCached != second.Tiles.TilesTotal || second.Tiles.TilesDirty != 0 {
+		t.Fatalf("second scan not fully cached: %+v", second.Tiles)
+	}
+	want := det.Detect(b.Test)
+	if second.Report.Candidates != want.Candidates || len(second.Report.Hotspots) != len(want.Hotspots) {
+		t.Fatalf("cached scan report drifted: %d candidates / %d hotspots, want %d / %d",
+			second.Report.Candidates, len(second.Report.Hotspots), want.Candidates, len(want.Hotspots))
+	}
+	for i := range second.Report.Hotspots {
+		if second.Report.Hotspots[i] != want.Hotspots[i] {
+			t.Fatalf("hotspot %d = %v, want %v", i, second.Report.Hotspots[i], want.Hotspots[i])
+		}
+	}
+
+	optedOut := tiledScan(boolPtr(false))
+	if optedOut.Store != nil || optedOut.Tiles.TilesCached != 0 {
+		t.Fatalf("opted-out scan still touched the store: store=%+v tiles=%+v", optedOut.Store, optedOut.Tiles)
 	}
 }
