@@ -5,7 +5,7 @@ GOVULNCHECK ?= govulncheck
 COVERPROFILE ?= cover.out
 BENCHCOUNT ?= 5
 
-.PHONY: all build vet test test-race test-shuffle fuzz bench bench-svm bench-svm-json bench-scan bench-scan-incremental bench-train bench-extract bench-extract-json docs-check check lint cover cover-check e2e
+.PHONY: all build vet test test-nosimd test-race test-shuffle fuzz bench bench-svm bench-svm-json bench-scan bench-scan-json bench-scan-incremental bench-train bench-train-json bench-extract bench-extract-json docs-check check lint cover cover-check e2e
 
 all: check
 
@@ -17,6 +17,12 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Full suite with the accelerated simd kernels disabled: everything must
+# pass — and produce identical artifacts — on the portable reference paths
+# (mirrors the CI nosimd lane).
+test-nosimd:
+	HOTSPOT_NOSIMD=1 $(GO) test ./...
 
 # Full race-detector pass; the core end-to-end tests dominate the runtime
 # (well past go test's default 10m per-package timeout under -race).
@@ -58,6 +64,12 @@ bench-scan:
 	$(GO) test -run='^$$' -bench='BenchmarkScanTiled' -benchtime=2x \
 		-count=$(BENCHCOUNT) -timeout 40m ./internal/core/
 
+# Regenerate BENCH_scan.json (repo-root whole-scan wall times: monolithic
+# detect, tiled, GDS-sourced, incremental cold/warm; the active simd
+# dispatch is recorded in the artifact — see EXPERIMENTS.md).
+bench-scan-json:
+	HOTSPOT_BENCH_JSON=1 $(GO) test -run TestWriteBenchScanJSON -count=1 -timeout 40m ./internal/core/
+
 # Incremental re-scan benchmarks: empty-store fill (cold) vs fully-cached
 # re-scan of an unchanged chip (warm). The warm/cold gap is the engine's
 # reason to exist; bench-scan-incremental-baseline.txt is the committed
@@ -89,6 +101,12 @@ bench-extract-json:
 bench-train:
 	$(GO) test -run='^$$' -bench='BenchmarkCrossValidate' \
 		-count=$(BENCHCOUNT) -timeout 30m ./internal/train/
+
+# Regenerate BENCH_train.json (repo-root cross-validated model-selection
+# wall times, parallel vs serial, with the simd dispatch recorded — see
+# EXPERIMENTS.md).
+bench-train-json:
+	HOTSPOT_BENCH_JSON=1 $(GO) test -run TestWriteBenchTrainJSON -count=1 -timeout 30m ./internal/train/
 
 # Markdown documentation lint: relative links + anchors resolve, curated
 # misspelling list (cmd/docscheck, no external tools).

@@ -48,6 +48,8 @@ func main() {
 		err = cmdBench(os.Args[2:])
 	case "gdsinfo":
 		err = cmdGDSInfo(os.Args[2:])
+	case "simd":
+		err = cmdSIMD(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -74,7 +76,8 @@ commands:
   drc      run basic design-rule checks over a benchmark layout
   serve    run hotspotd, the HTTP/JSON inference server, on a saved model
   bench    regenerate a paper table (-table 1..5) or figure (-fig 15)
-  gdsinfo  summarize a GDSII file`)
+  gdsinfo  summarize a GDSII file
+  simd     print the runtime-selected simd kernel dispatch`)
 }
 
 // benchFlags adds the common benchmark-selection flags.

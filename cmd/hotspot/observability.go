@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hotspot/internal/obs"
+	"hotspot/internal/simd"
 )
 
 // obsFlags adds the shared observability flags to train/detect.
@@ -57,6 +58,7 @@ func obsSetup(stats, verbose bool, debugAddr string) (*obs.Registry, func(obs.Ev
 // exactly the debug endpoints.
 func startDebugServer(addr string, reg *obs.Registry) error {
 	reg.PublishExpvar("hotspot")
+	simd.PublishExpvar()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -76,6 +78,7 @@ func startDebugServer(addr string, reg *obs.Registry) error {
 // printObservability renders the post-run observability report: the
 // training and detection stage tables plus the registry snapshot.
 func printObservability(trainTel, detectTel *obs.Telemetry, reg *obs.Registry) {
+	fmt.Printf("simd dispatch: %s\n", simd.Active())
 	if trainTel != nil && len(trainTel.Stages)+len(trainTel.Counters) > 0 {
 		fmt.Println("training stages:")
 		fmt.Println(trainTel.String())

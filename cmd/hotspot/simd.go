@@ -1,0 +1,29 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"hotspot/internal/simd"
+)
+
+// cmdSIMD prints the runtime-selected kernel dispatch. `-active` prints
+// only the active implementation name (one token, for scripts and CI
+// artifact naming); the default output also lists every registered
+// implementation in preference order and the HOTSPOT_NOSIMD override.
+func cmdSIMD(args []string) error {
+	fs := flag.NewFlagSet("simd", flag.ExitOnError)
+	active := fs.Bool("active", false, "print only the active dispatch name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *active {
+		fmt.Println(simd.Active())
+		return nil
+	}
+	fmt.Printf("active:    %s\n", simd.Active())
+	fmt.Printf("available: %s\n", strings.Join(simd.Available(), " "))
+	fmt.Printf("override:  set %s=1 to force the portable reference\n", simd.NoSIMDEnv)
+	return nil
+}

@@ -5,6 +5,8 @@ import (
 	"os"
 	"runtime"
 	"testing"
+
+	"hotspot/internal/simd"
 )
 
 // BenchmarkEvalClipPipeline measures steady-state clip evaluation (one
@@ -88,9 +90,10 @@ func TestWriteBenchExtractJSON(t *testing.T) {
 	allocs := testing.AllocsPerRun(20, func() { d.evalBatchScratch(s, ps, cfg) })
 
 	doc := map[string]any{
-		"generated_by": "make bench-extract-json (internal/core TestWriteBenchExtractJSON)",
-		"gomaxprocs":   gomaxprocs,
-		"batch_clips":  len(ps),
+		"generated_by":  "make bench-extract-json (internal/core TestWriteBenchExtractJSON)",
+		"gomaxprocs":    gomaxprocs,
+		"simd_dispatch": simd.Active(),
+		"batch_clips":   len(ps),
 		"ns_per_clip": map[string]float64{
 			"prescreen_hit":  hit,
 			"prescreen_miss": miss,

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"hotspot/internal/simd"
+)
+
+// TestWriteBenchScanJSON regenerates BENCH_scan.json at the repo root when
+// HOTSPOT_BENCH_JSON is set (see `make bench-scan-json` and
+// EXPERIMENTS.md): whole-scan wall times for the monolithic detect, the
+// tiled and GDS-sourced scans, and the incremental store's cold fill vs
+// warm replay, all under the active simd dispatch (recorded in the
+// artifact so runs under HOTSPOT_NOSIMD=1 are distinguishable).
+func TestWriteBenchScanJSON(t *testing.T) {
+	if os.Getenv("HOTSPOT_BENCH_JSON") == "" {
+		t.Skip("set HOTSPOT_BENCH_JSON=1 to (re)write BENCH_scan.json")
+	}
+	bench := testBenchmark()
+	d := trainedDetector(t, DefaultConfig())
+	opts := ScanOptions{Tile: 16000, Workers: 8}
+
+	nsPerOp := func(f func()) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f()
+			}
+		})
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+
+	detectNs := nsPerOp(func() { d.Detect(bench.Test) })
+	tiledNs := nsPerOp(func() {
+		if _, _, err := d.ScanTiledContext(context.Background(), bench.Test, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	lib := bench.Test.ToGDS("TOP")
+	gdsNs := nsPerOp(func() {
+		if _, _, err := d.ScanGDSContext(context.Background(), lib, "TOP", opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	coldNs := nsPerOp(func() {
+		path := filepath.Join(t.TempDir(), "store.jsonl")
+		if _, _, err := d.ScanIncremental(bench.Test, path, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	warmPath := filepath.Join(t.TempDir(), "store.jsonl")
+	if _, _, err := d.ScanIncremental(bench.Test, warmPath, opts); err != nil {
+		t.Fatal(err)
+	}
+	warmNs := nsPerOp(func() {
+		if _, st, err := d.ScanIncremental(bench.Test, warmPath, opts); err != nil {
+			t.Fatal(err)
+		} else if st.TilesCached != st.TilesTotal {
+			t.Fatalf("warm scan evaluated tiles: %+v", st)
+		}
+	})
+
+	doc := map[string]any{
+		"generated_by":  "make bench-scan-json (internal/core TestWriteBenchScanJSON)",
+		"gomaxprocs":    runtime.GOMAXPROCS(0),
+		"simd_dispatch": simd.Active(),
+		"scan_ns": map[string]float64{
+			"detect_monolithic": detectNs,
+			"tiled_w8":          tiledNs,
+			"gds_w8":            gdsNs,
+			"incremental_cold":  coldNs,
+			"incremental_warm":  warmNs,
+		},
+		"speedup_warm_vs_cold": coldNs / warmNs,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_scan.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("detect %.0fms tiled %.0fms gds %.0fms cold %.0fms warm %.0fms (%s dispatch)",
+		detectNs/1e6, tiledNs/1e6, gdsNs/1e6, coldNs/1e6, warmNs/1e6, simd.Active())
+}

@@ -1,0 +1,53 @@
+package dist
+
+import (
+	"context"
+	"testing"
+
+	"hotspot/internal/simd"
+)
+
+// TestScanDistributedDispatchConsistency extends the distributed
+// acceptance guarantee across the simd dispatch boundary: a coordinator
+// and backends running the portable reference must reproduce, byte for
+// byte, the local tiled reference report computed under the accelerated
+// dispatch (and vice versa — the fixture trains under whichever dispatch
+// is active at package init).
+func TestScanDistributedDispatchConsistency(t *testing.T) {
+	b, det, want := fixture(t)
+	if len(simd.Available()) < 2 {
+		t.Skip("only one simd dispatch available on this host")
+	}
+
+	orig := simd.Active()
+	defer func() {
+		if err := simd.Use(orig); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	for _, name := range simd.Available() {
+		if name == orig {
+			continue // the plain distributed test already covers this mode
+		}
+		t.Run(name, func(t *testing.T) {
+			if err := simd.Use(name); err != nil {
+				t.Fatal(err)
+			}
+			backends := []string{
+				newBackendServer(t, det).URL,
+				newBackendServer(t, det).URL,
+			}
+			rep, st, err := Scan(context.Background(), det, b.Test, Options{
+				Backends: backends, Shards: 4, Tile: fixTile,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			reportsEqual(t, "dispatch="+name, rep, want)
+			if st.ShardsDone != st.Shards {
+				t.Fatalf("%d/%d shards done", st.ShardsDone, st.Shards)
+			}
+		})
+	}
+}

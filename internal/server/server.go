@@ -33,6 +33,7 @@ import (
 	"hotspot/internal/core"
 	"hotspot/internal/obs"
 	"hotspot/internal/scan"
+	"hotspot/internal/simd"
 )
 
 // Config parameterizes the server. The zero value is usable: every field
@@ -212,6 +213,7 @@ func newServer(det *core.Detector, classify func(*clip.Pattern) clip.Label, cfg 
 	}
 	s.pool = newPool(cfg.Workers, cfg.QueueSize, cfg.BatchSize, cfg.BatchWait, classify, classifyBatch, s.reg)
 	s.reg.PublishExpvar("hotspotd")
+	simd.PublishExpvar()
 	s.ready.Store(true)
 	return s, nil
 }

@@ -1,0 +1,89 @@
+package simd
+
+// CPUID probes (cpu_amd64.s).
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+// hasAVX2 reports whether both the CPU and the OS support 256-bit AVX2:
+// the CPU must advertise AVX and AVX2, and the OS must have enabled XMM
+// and YMM state saving (OSXSAVE + XCR0[2:1] == 11b). FMA is deliberately
+// not required — the kernels avoid fused multiply-add to stay
+// bit-identical with the two-rounding portable reference (see the package
+// comment).
+func hasAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv()
+	if xcr0&0x6 != 0x6 { // XMM and YMM state enabled by the OS
+		return false
+	}
+	ebx7, _, _, _ := cpuid7ebx()
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+// cpuid7ebx isolates the leaf-7 query so hasAVX2 reads naturally.
+func cpuid7ebx() (ebx, ecx, edx, eax uint32) {
+	a, b, c, d := cpuid(7, 0)
+	return b, c, d, a
+}
+
+// archImpls returns the accelerated implementations usable on this CPU,
+// fastest first. SSE2 is part of the amd64 baseline, so it is always
+// present.
+func archImpls() []*impl {
+	var impls []*impl
+	if hasAVX2() {
+		impls = append(impls, &impl{
+			name:       "avx2",
+			dot:        dotAVX2,
+			kernelArgs: kernelArgsAVX2,
+			scaleApply: scaleApplyAVX2,
+			axpyAccum:  axpyAccumAVX2,
+		})
+	}
+	impls = append(impls, &impl{
+		name:       "sse2",
+		dot:        dotSSE2,
+		kernelArgs: kernelArgsSSE2,
+		scaleApply: scaleApplySSE2,
+		axpyAccum:  axpyAccumSSE2,
+	})
+	return impls
+}
+
+// Assembly kernels (simd_amd64.s). All are called with pre-normalized
+// operands: equal lengths, len >= 1, and for the kernel-arg sweep
+// len(flat) == len(dst)*len(x) with len(x) >= 1.
+
+//go:noescape
+func dotAVX2(a, b []float64) float64
+
+//go:noescape
+func dotSSE2(a, b []float64) float64
+
+//go:noescape
+func kernelArgsAVX2(dst, norms, flat, x []float64, xn float64)
+
+//go:noescape
+func kernelArgsSSE2(dst, norms, flat, x []float64, xn float64)
+
+//go:noescape
+func scaleApplyAVX2(dst, row, lo, hi []float64)
+
+//go:noescape
+func scaleApplySSE2(dst, row, lo, hi []float64)
+
+//go:noescape
+func axpyAccumAVX2(dst, x []float64, alpha float64)
+
+//go:noescape
+func axpyAccumSSE2(dst, x []float64, alpha float64)

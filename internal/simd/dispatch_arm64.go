@@ -1,0 +1,34 @@
+package simd
+
+// archImpls returns the NEON implementation — always available on arm64
+// (AdvSIMD is part of the base ARMv8-A profile). The reductions (dot, and
+// the per-row dot of the kernel-arg sweep) are the measured hot spots and
+// run in assembly; the element-wise primitives have no ordering freedom
+// and stay on the portable expressions, which are bit-identical by
+// construction.
+func archImpls() []*impl {
+	return []*impl{{
+		name:       "neon",
+		dot:        dotNEON,
+		kernelArgs: kernelArgsNEON,
+		scaleApply: scaleApplyPortable,
+		axpyAccum:  axpyAccumPortable,
+	}}
+}
+
+// kernelArgsNEON composes the NEON dot with the fixed scalar epilogue —
+// the same expression, in the same order, as every other implementation.
+func kernelArgsNEON(dst, norms, flat, x []float64, xn float64) {
+	dim := len(x)
+	for k := range dst {
+		d := dotNEON(flat[k*dim:(k+1)*dim], x)
+		dst[k] = norms[k] + xn - 2*d
+	}
+}
+
+// dotNEON is the 8-lane blocked dot product (simd_arm64.s): lane pairs
+// (0,1)(2,3)(4,5)(6,7) in V0..V3, reduced through the same tree as every
+// other implementation.
+//
+//go:noescape
+func dotNEON(a, b []float64) float64

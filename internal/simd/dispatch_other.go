@@ -1,0 +1,7 @@
+//go:build !amd64 && !arm64
+
+package simd
+
+// archImpls: no accelerated implementations on this architecture; the
+// portable reference (appended unconditionally by init) is the only entry.
+func archImpls() []*impl { return nil }

@@ -1,0 +1,22 @@
+package simd
+
+import (
+	"expvar"
+	"sync"
+)
+
+var publishOnce sync.Once
+
+// PublishExpvar exports the kernel dispatch under the expvar keys
+// "simd.dispatch" (the active implementation: "avx2", "sse2", "neon", or
+// "portable") and "simd.available" (every registered implementation, in
+// preference order). Safe to call from multiple servers; the variables are
+// published once per process and always report the current dispatch, so a
+// test or operator switching implementations shows up live under
+// /debug/vars.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("simd.dispatch", expvar.Func(func() any { return Active() }))
+		expvar.Publish("simd.available", expvar.Func(func() any { return Available() }))
+	})
+}

@@ -1,0 +1,100 @@
+package simd
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// floatsFromBytes decodes up to max float64s from raw fuzz bytes, mapping
+// non-finite and absurd values into a tame range while keeping their low
+// mantissa bits, so rounding differences stay observable.
+func floatsFromBytes(data []byte, max int) []float64 {
+	n := len(data) / 8
+	if n > max {
+		n = max
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+			v = math.Mod(float64(binary.LittleEndian.Uint64(data[i*8:])>>11), 1e6) / 257
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// FuzzDotDispatchConsistency asserts every accelerated implementation is
+// bit-identical to the portable reference on arbitrary inputs, lengths,
+// and slice alignments.
+func FuzzDotDispatchConsistency(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add(make([]byte, 8*17), uint8(1))
+	f.Add(make([]byte, 8*64), uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, off uint8) {
+		vals := floatsFromBytes(data, 256)
+		half := len(vals) / 2
+		a, b := vals[:half], vals[half:]
+		start := int(off) % (half + 1)
+		a, b = a[start:], b[:len(b)-start%(len(b)+1)]
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		want := dotPortable(a[:n], b[:n])
+		orig := Active()
+		defer Use(orig)
+		for _, name := range Available() {
+			if err := Use(name); err != nil {
+				t.Fatal(err)
+			}
+			got := Dot(a, b)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("%s: Dot=%x portable=%x (n=%d start=%d)",
+					name, math.Float64bits(got), math.Float64bits(want), n, start)
+			}
+		}
+	})
+}
+
+// FuzzKernelArgsDispatchConsistency asserts the fused kernel-argument
+// sweep is bit-identical across implementations for arbitrary block
+// shapes and values, including ragged flat blocks.
+func FuzzKernelArgsDispatchConsistency(f *testing.F) {
+	f.Add([]byte{}, uint8(1), uint8(1))
+	f.Add(make([]byte, 8*40), uint8(4), uint8(9))
+	f.Fuzz(func(t *testing.T, data []byte, rowsRaw, dimRaw uint8) {
+		rows := int(rowsRaw)%8 + 1
+		dim := int(dimRaw) % 20
+		need := rows*dim + dim + rows
+		vals := floatsFromBytes(data, 512)
+		for len(vals) < need {
+			vals = append(vals, float64(len(vals))*0.375)
+		}
+		flat := vals[:rows*dim]
+		x := vals[rows*dim : rows*dim+dim]
+		norms := vals[rows*dim+dim : need]
+		xn := 2.75
+		if len(vals) > need {
+			xn = vals[need]
+		}
+		want := make([]float64, rows)
+		kernelArgsPortable(want, norms, flat, x, xn)
+		orig := Active()
+		defer Use(orig)
+		for _, name := range Available() {
+			if err := Use(name); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]float64, rows)
+			KernelArgs(got, norms, flat, x, xn)
+			for k := range want {
+				if math.Float64bits(got[k]) != math.Float64bits(want[k]) {
+					t.Errorf("%s: rows=%d dim=%d k=%d got=%x want=%x",
+						name, rows, dim, k, math.Float64bits(got[k]), math.Float64bits(want[k]))
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,68 @@
+package simd
+
+// Portable reference implementations. These define the semantics every
+// assembly implementation must reproduce bit-for-bit; the dispatch
+// consistency fuzz targets compare each accelerated implementation against
+// this file. Callers (the exported wrappers) guarantee equal, non-zero
+// operand lengths.
+
+// dotPortable is the 8-lane blocked dot product. The lane assignment and
+// the reduction tree mirror a 4-double vector unit with two accumulators
+// (or four 2-double accumulators): lane k holds the partial sum of
+// elements congruent to k mod 8, the tree is
+// ((s0+s4)+(s2+s6)) + ((s1+s5)+(s3+s7)), and the <8-element tail is added
+// sequentially afterwards.
+func dotPortable(a, b []float64) float64 {
+	b = b[:len(a)] // bounds-check hint
+	var s0, s1, s2, s3, s4, s5, s6, s7 float64
+	i := 0
+	for ; i+8 <= len(a); i += 8 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+		s4 += a[i+4] * b[i+4]
+		s5 += a[i+5] * b[i+5]
+		s6 += a[i+6] * b[i+6]
+		s7 += a[i+7] * b[i+7]
+	}
+	s := ((s0 + s4) + (s2 + s6)) + ((s1 + s5) + (s3 + s7))
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// kernelArgsPortable runs one blocked dot per support-vector row and
+// finishes each with the fixed epilogue (norms[k] + xn) - 2*d. No clamp:
+// see KernelArgs.
+func kernelArgsPortable(dst, norms, flat, x []float64, xn float64) {
+	dim := len(x)
+	for k := range dst {
+		d := dotPortable(flat[k*dim:(k+1)*dim], x)
+		dst[k] = norms[k] + xn - 2*d
+	}
+}
+
+// scaleApplyPortable is the element-wise min-max scale. The guard compares
+// the freshly rounded range against zero, so NaN ranges and zero/negative
+// ranges all map to exactly +0 — the assembly paths reproduce this with a
+// compare mask and an AND.
+func scaleApplyPortable(dst, row, lo, hi []float64) {
+	for i := range dst {
+		r := hi[i] - lo[i]
+		v := 0.0
+		if r > 0 {
+			v = (row[i] - lo[i]) / r
+		}
+		dst[i] = v
+	}
+}
+
+// axpyAccumPortable is the element-wise scaled accumulate: the product is
+// rounded before the add (two roundings — never fused).
+func axpyAccumPortable(dst, x []float64, alpha float64) {
+	for i := range dst {
+		dst[i] += alpha * x[i]
+	}
+}

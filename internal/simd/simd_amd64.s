@@ -1,0 +1,451 @@
+// amd64 kernels. Every reduction follows the package's fixed 8-lane
+// blocked association order:
+//
+//	lane k accumulates a[i+k]*b[i+k] for i = 0, 8, 16, ...
+//	sum  = ((s0+s4)+(s2+s6)) + ((s1+s5)+(s3+s7))
+//	tail = remaining <8 elements added sequentially
+//
+// AVX2 keeps lanes 0-3 in Y0 and lanes 4-7 in Y1; SSE2 keeps lane pairs
+// (0,1)(2,3)(4,5)(6,7) in X0..X3. Both reduce through the identical tree,
+// so results are bit-for-bit equal to each other and to the portable Go
+// reference. No FMA anywhere: mul and add round separately, matching the
+// two-rounding portable expressions (see the package comment).
+
+#include "textflag.h"
+
+// func dotSSE2(a, b []float64) float64
+TEXT ·dotSSE2(SB), NOSPLIT, $0-56
+	MOVQ a_base+0(FP), SI
+	MOVQ b_base+24(FP), DI
+	MOVQ a_len+8(FP), CX
+	XORPS X0, X0 // lanes s0 s1
+	XORPS X1, X1 // lanes s2 s3
+	XORPS X2, X2 // lanes s4 s5
+	XORPS X3, X3 // lanes s6 s7
+	MOVQ  CX, BX
+	SHRQ  $3, BX
+	JZ    dotsse2_reduce
+
+dotsse2_loop8:
+	MOVUPD 0(SI), X4
+	MOVUPD 0(DI), X5
+	MULPD  X5, X4
+	ADDPD  X4, X0
+	MOVUPD 16(SI), X4
+	MOVUPD 16(DI), X5
+	MULPD  X5, X4
+	ADDPD  X4, X1
+	MOVUPD 32(SI), X4
+	MOVUPD 32(DI), X5
+	MULPD  X5, X4
+	ADDPD  X4, X2
+	MOVUPD 48(SI), X4
+	MOVUPD 48(DI), X5
+	MULPD  X5, X4
+	ADDPD  X4, X3
+	ADDQ   $64, SI
+	ADDQ   $64, DI
+	DECQ   BX
+	JNZ    dotsse2_loop8
+
+dotsse2_reduce:
+	ADDPD    X2, X0      // (s0+s4, s1+s5)
+	ADDPD    X3, X1      // (s2+s6, s3+s7)
+	ADDPD    X1, X0      // ((s0+s4)+(s2+s6), (s1+s5)+(s3+s7))
+	MOVAPD   X0, X1
+	UNPCKHPD X1, X1      // lane0 = high lane of X0
+	ADDSD    X1, X0      // lane0 = low + high
+	ANDQ     $7, CX
+	JZ       dotsse2_done
+
+dotsse2_tail:
+	MOVSD (SI), X4
+	MULSD (DI), X4
+	ADDSD X4, X0
+	ADDQ  $8, SI
+	ADDQ  $8, DI
+	DECQ  CX
+	JNZ   dotsse2_tail
+
+dotsse2_done:
+	MOVSD X0, ret+48(FP)
+	RET
+
+// func dotAVX2(a, b []float64) float64
+TEXT ·dotAVX2(SB), NOSPLIT, $0-56
+	MOVQ   a_base+0(FP), SI
+	MOVQ   b_base+24(FP), DI
+	MOVQ   a_len+8(FP), CX
+	VXORPD Y0, Y0, Y0 // lanes s0..s3
+	VXORPD Y1, Y1, Y1 // lanes s4..s7
+	MOVQ   CX, BX
+	SHRQ   $3, BX
+	JZ     dotavx2_reduce
+
+dotavx2_loop8:
+	VMOVUPD 0(SI), Y2
+	VMOVUPD 32(SI), Y3
+	VMULPD  0(DI), Y2, Y2
+	VADDPD  Y2, Y0, Y0
+	VMULPD  32(DI), Y3, Y3
+	VADDPD  Y3, Y1, Y1
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	DECQ    BX
+	JNZ     dotavx2_loop8
+
+dotavx2_reduce:
+	VADDPD       Y1, Y0, Y0     // (s0+s4, s1+s5, s2+s6, s3+s7)
+	VEXTRACTF128 $1, Y0, X1     // (s2+s6, s3+s7)
+	VADDPD       X1, X0, X0     // ((s0+s4)+(s2+s6), (s1+s5)+(s3+s7))
+	VUNPCKHPD    X0, X0, X1     // lane0 = high lane
+	VADDSD       X1, X0, X0     // lane0 = low + high
+	VZEROUPPER
+	ANDQ         $7, CX
+	JZ           dotavx2_done
+
+dotavx2_tail:
+	MOVSD (SI), X2
+	MULSD (DI), X2
+	ADDSD X2, X0
+	ADDQ  $8, SI
+	ADDQ  $8, DI
+	DECQ  CX
+	JNZ   dotavx2_tail
+
+dotavx2_done:
+	MOVSD X0, ret+48(FP)
+	RET
+
+// func kernelArgsSSE2(dst, norms, flat, x []float64, xn float64)
+//
+// For each row k: dst[k] = (norms[k] + xn) - 2*dot(flat[k*dim:], x),
+// dot in the fixed blocked order, epilogue exactly as written (the 2*d is
+// computed as d+d, which is bit-identical to 2*d).
+TEXT ·kernelArgsSSE2(SB), NOSPLIT, $0-104
+	MOVQ  dst_base+0(FP), DX
+	MOVQ  dst_len+8(FP), CX      // rows
+	MOVQ  norms_base+24(FP), R8
+	MOVQ  flat_base+48(FP), SI
+	MOVQ  x_base+72(FP), DI
+	MOVQ  x_len+80(FP), R9       // dim
+	MOVSD xn+96(FP), X9
+	MOVQ  R9, R13
+	SHRQ  $3, R13                // dim/8 blocks per row
+	MOVQ  R9, R14
+	ANDQ  $7, R14                // tail elements per row
+
+kasse2_row:
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	MOVQ  DI, R10 // x cursor
+	MOVQ  R13, R11
+	TESTQ R11, R11
+	JZ    kasse2_reduce
+
+kasse2_loop8:
+	MOVUPD 0(SI), X4
+	MOVUPD 0(R10), X5
+	MULPD  X5, X4
+	ADDPD  X4, X0
+	MOVUPD 16(SI), X4
+	MOVUPD 16(R10), X5
+	MULPD  X5, X4
+	ADDPD  X4, X1
+	MOVUPD 32(SI), X4
+	MOVUPD 32(R10), X5
+	MULPD  X5, X4
+	ADDPD  X4, X2
+	MOVUPD 48(SI), X4
+	MOVUPD 48(R10), X5
+	MULPD  X5, X4
+	ADDPD  X4, X3
+	ADDQ   $64, SI
+	ADDQ   $64, R10
+	DECQ   R11
+	JNZ    kasse2_loop8
+
+kasse2_reduce:
+	ADDPD    X2, X0
+	ADDPD    X3, X1
+	ADDPD    X1, X0
+	MOVAPD   X0, X1
+	UNPCKHPD X1, X1
+	ADDSD    X1, X0
+	MOVQ     R14, R11
+	TESTQ    R11, R11
+	JZ       kasse2_epilogue
+
+kasse2_tail:
+	MOVSD (SI), X4
+	MULSD (R10), X4
+	ADDSD X4, X0
+	ADDQ  $8, SI
+	ADDQ  $8, R10
+	DECQ  R11
+	JNZ   kasse2_tail
+
+kasse2_epilogue:
+	MOVSD (R8), X4 // norms[k]
+	ADDSD X9, X4   // norms[k] + xn
+	ADDSD X0, X0   // 2*d
+	SUBSD X0, X4   // (norms[k] + xn) - 2*d
+	MOVSD X4, (DX)
+	ADDQ  $8, R8
+	ADDQ  $8, DX
+	DECQ  CX
+	JNZ   kasse2_row
+	RET
+
+// func kernelArgsAVX2(dst, norms, flat, x []float64, xn float64)
+TEXT ·kernelArgsAVX2(SB), NOSPLIT, $0-104
+	MOVQ  dst_base+0(FP), DX
+	MOVQ  dst_len+8(FP), CX      // rows
+	MOVQ  norms_base+24(FP), R8
+	MOVQ  flat_base+48(FP), SI
+	MOVQ  x_base+72(FP), DI
+	MOVQ  x_len+80(FP), R9       // dim
+	MOVSD xn+96(FP), X9
+	MOVQ  R9, R13
+	SHRQ  $3, R13
+	MOVQ  R9, R14
+	ANDQ  $7, R14
+
+kaavx2_row:
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	MOVQ   DI, R10
+	MOVQ   R13, R11
+	TESTQ  R11, R11
+	JZ     kaavx2_reduce
+
+kaavx2_loop8:
+	VMOVUPD 0(SI), Y2
+	VMOVUPD 32(SI), Y3
+	VMULPD  0(R10), Y2, Y2
+	VADDPD  Y2, Y0, Y0
+	VMULPD  32(R10), Y3, Y3
+	VADDPD  Y3, Y1, Y1
+	ADDQ    $64, SI
+	ADDQ    $64, R10
+	DECQ    R11
+	JNZ     kaavx2_loop8
+
+kaavx2_reduce:
+	VADDPD       Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD       X1, X0, X0
+	VUNPCKHPD    X0, X0, X1
+	VADDSD       X1, X0, X0
+	MOVQ         R14, R11
+	TESTQ        R11, R11
+	JZ           kaavx2_epilogue
+
+kaavx2_tail:
+	VMOVSD (SI), X2
+	VMULSD (R10), X2, X2
+	VADDSD X2, X0, X0
+	ADDQ   $8, SI
+	ADDQ   $8, R10
+	DECQ   R11
+	JNZ    kaavx2_tail
+
+kaavx2_epilogue:
+	VMOVSD (R8), X4
+	VADDSD X9, X4, X4 // norms[k] + xn
+	VADDSD X0, X0, X0 // 2*d
+	VSUBSD X0, X4, X4 // (norms[k] + xn) - 2*d
+	VMOVSD X4, (DX)
+	ADDQ   $8, R8
+	ADDQ   $8, DX
+	DECQ   CX
+	JNZ    kaavx2_row
+	VZEROUPPER
+	RET
+
+// func scaleApplySSE2(dst, row, lo, hi []float64)
+//
+// dst[i] = (row[i]-lo[i]) / (hi[i]-lo[i]) masked to +0 unless the range is
+// strictly positive. The mask is the ordered compare 0 < r (CMPPD predicate
+// 1 with reversed operands); ordered compares are false on NaN, so NaN
+// ranges map to +0, matching the portable branch. The odd tail element goes
+// through the same packed ops on a zero-padded lane (the junk lane is
+// masked and never stored).
+TEXT ·scaleApplySSE2(SB), NOSPLIT, $0-96
+	MOVQ  dst_base+0(FP), DX
+	MOVQ  dst_len+8(FP), CX
+	MOVQ  row_base+24(FP), SI
+	MOVQ  lo_base+48(FP), R8
+	MOVQ  hi_base+72(FP), R9
+	XORPS X7, X7
+	MOVQ  CX, BX
+	SHRQ  $1, BX
+	JZ    sasse2_tail
+
+sasse2_loop2:
+	MOVUPD (R9), X1    // hi
+	MOVUPD (R8), X2    // lo
+	SUBPD  X2, X1      // r = hi - lo
+	MOVUPD (SI), X3    // row
+	SUBPD  X2, X3      // num = row - lo
+	DIVPD  X1, X3      // v = num / r
+	MOVAPD X7, X4
+	CMPPD  X1, X4, $1  // mask = 0 < r (ordered LT: NaN -> false)
+	ANDPD  X4, X3      // v where r > 0, +0 elsewhere
+	MOVUPD X3, (DX)
+	ADDQ   $16, SI
+	ADDQ   $16, R8
+	ADDQ   $16, R9
+	ADDQ   $16, DX
+	DECQ   BX
+	JNZ    sasse2_loop2
+
+sasse2_tail:
+	ANDQ  $1, CX
+	JZ    sasse2_done
+	MOVSD (R9), X1
+	MOVSD (R8), X2
+	SUBPD X2, X1
+	MOVSD (SI), X3
+	SUBPD X2, X3
+	DIVPD  X1, X3
+	MOVAPD X7, X4
+	CMPPD  X1, X4, $1
+	ANDPD  X4, X3
+	MOVSD  X3, (DX)
+
+sasse2_done:
+	RET
+
+// func scaleApplyAVX2(dst, row, lo, hi []float64)
+TEXT ·scaleApplyAVX2(SB), NOSPLIT, $0-96
+	MOVQ   dst_base+0(FP), DX
+	MOVQ   dst_len+8(FP), CX
+	MOVQ   row_base+24(FP), SI
+	MOVQ   lo_base+48(FP), R8
+	MOVQ   hi_base+72(FP), R9
+	VXORPD X7, X7, X7
+	MOVQ   CX, BX
+	SHRQ   $2, BX
+	JZ     saavx2_tail
+
+saavx2_loop4:
+	VMOVUPD (R9), Y1        // hi
+	VMOVUPD (R8), Y2        // lo
+	VSUBPD  Y2, Y1, Y1      // r = hi - lo
+	VMOVUPD (SI), Y3
+	VSUBPD  Y2, Y3, Y3      // num = row - lo
+	VDIVPD  Y1, Y3, Y3      // v = num / r
+	VXORPD  Y5, Y5, Y5
+	VCMPPD  $1, Y1, Y5, Y4  // mask = 0 < r (ordered LT: NaN -> false)
+	VANDPD  Y4, Y3, Y3
+	VMOVUPD Y3, (DX)
+	ADDQ    $32, SI
+	ADDQ    $32, R8
+	ADDQ    $32, R9
+	ADDQ    $32, DX
+	DECQ    BX
+	JNZ     saavx2_loop4
+
+saavx2_tail:
+	ANDQ $3, CX
+	JZ   saavx2_done
+
+saavx2_tail1:
+	VMOVSD (R9), X1
+	VMOVSD (R8), X2
+	VSUBPD X2, X1, X1
+	VMOVSD (SI), X3
+	VSUBPD X2, X3, X3
+	VDIVPD X1, X3, X3
+	VCMPPD $1, X1, X7, X4
+	VANDPD X4, X3, X3
+	VMOVSD X3, (DX)
+	ADDQ   $8, SI
+	ADDQ   $8, R8
+	ADDQ   $8, R9
+	ADDQ   $8, DX
+	DECQ   CX
+	JNZ    saavx2_tail1
+
+saavx2_done:
+	VZEROUPPER
+	RET
+
+// func axpyAccumSSE2(dst, x []float64, alpha float64)
+//
+// dst[i] += alpha*x[i]; the product rounds before the add (no FMA).
+TEXT ·axpyAccumSSE2(SB), NOSPLIT, $0-56
+	MOVQ     dst_base+0(FP), DX
+	MOVQ     dst_len+8(FP), CX
+	MOVQ     x_base+24(FP), SI
+	MOVSD    alpha+48(FP), X6
+	UNPCKLPD X6, X6              // broadcast alpha to both lanes
+	MOVQ     CX, BX
+	SHRQ     $1, BX
+	JZ       axsse2_tail
+
+axsse2_loop2:
+	MOVUPD (SI), X1
+	MULPD  X6, X1
+	MOVUPD (DX), X2
+	ADDPD  X1, X2
+	MOVUPD X2, (DX)
+	ADDQ   $16, SI
+	ADDQ   $16, DX
+	DECQ   BX
+	JNZ    axsse2_loop2
+
+axsse2_tail:
+	ANDQ  $1, CX
+	JZ    axsse2_done
+	MOVSD (SI), X1
+	MULSD X6, X1
+	MOVSD (DX), X2
+	ADDSD X1, X2
+	MOVSD X2, (DX)
+
+axsse2_done:
+	RET
+
+// func axpyAccumAVX2(dst, x []float64, alpha float64)
+TEXT ·axpyAccumAVX2(SB), NOSPLIT, $0-56
+	MOVQ         dst_base+0(FP), DX
+	MOVQ         dst_len+8(FP), CX
+	MOVQ         x_base+24(FP), SI
+	VBROADCASTSD alpha+48(FP), Y6
+	MOVQ         CX, BX
+	SHRQ         $2, BX
+	JZ           axavx2_tail
+
+axavx2_loop4:
+	VMOVUPD (SI), Y1
+	VMULPD  Y6, Y1, Y1
+	VMOVUPD (DX), Y2
+	VADDPD  Y1, Y2, Y2
+	VMOVUPD Y2, (DX)
+	ADDQ    $32, SI
+	ADDQ    $32, DX
+	DECQ    BX
+	JNZ     axavx2_loop4
+
+axavx2_tail:
+	ANDQ $3, CX
+	JZ   axavx2_done
+
+axavx2_tail1:
+	VMOVSD (SI), X1
+	VMULSD X6, X1, X1
+	VMOVSD (DX), X2
+	VADDSD X1, X2, X2
+	VMOVSD X2, (DX)
+	ADDQ   $8, SI
+	ADDQ   $8, DX
+	DECQ   CX
+	JNZ    axavx2_tail1
+
+axavx2_done:
+	VZEROUPPER
+	RET

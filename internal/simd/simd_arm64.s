@@ -1,0 +1,62 @@
+// arm64 NEON dot product, bit-identical to the portable reference: lane
+// pairs (0,1)(2,3)(4,5)(6,7) accumulate in V0..V3 and reduce through the
+// fixed tree ((s0+s4)+(s2+s6)) + ((s1+s5)+(s3+s7)), then the <8-element
+// tail is added sequentially. FMUL and FADD round separately (no FMLA:
+// fused multiply-add would break bit-identity with the two-rounding
+// portable expression).
+//
+// The Go assembler has no mnemonics for the unfused NEON vector FMUL/FADD
+// (only the fused VFMLA), so those instructions are WORD-encoded. Every
+// encoding below was produced by `llvm-mc -triple=aarch64 -show-encoding`
+// from the commented instruction and transcribed little-endian.
+
+#include "textflag.h"
+
+// func dotNEON(a, b []float64) float64
+TEXT ·dotNEON(SB), NOSPLIT, $0-56
+	MOVD a_base+0(FP), R0
+	MOVD b_base+24(FP), R1
+	MOVD a_len+8(FP), R2
+	VEOR V0.B16, V0.B16, V0.B16 // lanes s0 s1
+	VEOR V1.B16, V1.B16, V1.B16 // lanes s2 s3
+	VEOR V2.B16, V2.B16, V2.B16 // lanes s4 s5
+	VEOR V3.B16, V3.B16, V3.B16 // lanes s6 s7
+	LSR  $3, R2, R3
+	CBZ  R3, reduce
+
+loop8:
+	VLD1.P 64(R0), [V4.D2, V5.D2, V6.D2, V7.D2]
+	VLD1.P 64(R1), [V8.D2, V9.D2, V10.D2, V11.D2]
+	WORD   $0x6E68DC84 // fmul v4.2d, v4.2d, v8.2d
+	WORD   $0x4E64D400 // fadd v0.2d, v0.2d, v4.2d
+	WORD   $0x6E69DCA5 // fmul v5.2d, v5.2d, v9.2d
+	WORD   $0x4E65D421 // fadd v1.2d, v1.2d, v5.2d
+	WORD   $0x6E6ADCC6 // fmul v6.2d, v6.2d, v10.2d
+	WORD   $0x4E66D442 // fadd v2.2d, v2.2d, v6.2d
+	WORD   $0x6E6BDCE7 // fmul v7.2d, v7.2d, v11.2d
+	WORD   $0x4E67D463 // fadd v3.2d, v3.2d, v7.2d
+	SUB    $1, R3
+	CBNZ   R3, loop8
+
+reduce:
+	WORD  $0x4E62D400    // fadd v0.2d, v0.2d, v2.2d  -> (s0+s4, s1+s5)
+	WORD  $0x4E63D421    // fadd v1.2d, v1.2d, v3.2d  -> (s2+s6, s3+s7)
+	WORD  $0x4E61D400    // fadd v0.2d, v0.2d, v1.2d  -> tree inner pair
+	VDUP  V0.D[1], V1.D2 // lane0 = high lane
+	FADDD F1, F0         // F0 = low + high
+	AND   $7, R2, R2
+	CBZ   R2, done
+
+tail:
+	FMOVD (R0), F4
+	FMOVD (R1), F5
+	FMULD F5, F4, F4
+	FADDD F4, F0, F0
+	ADD   $8, R0
+	ADD   $8, R1
+	SUB   $1, R2
+	CBNZ  R2, tail
+
+done:
+	FMOVD F0, ret+48(FP)
+	RET

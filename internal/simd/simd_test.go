@@ -1,0 +1,256 @@
+package simd
+
+import (
+	"expvar"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestNoSIMDEnvKnob pins the HOTSPOT_NOSIMD contract from both sides:
+// with the knob set (the CI nosimd lane runs the whole suite this way)
+// only the portable reference may be registered; without it, amd64 must
+// register at least the SSE2 baseline.
+func TestNoSIMDEnvKnob(t *testing.T) {
+	names := Available()
+	if os.Getenv(NoSIMDEnv) != "" {
+		if len(names) != 1 || names[0] != "portable" {
+			t.Fatalf("%s set but Available() = %v", NoSIMDEnv, names)
+		}
+		return
+	}
+	if runtime.GOARCH == "amd64" && len(names) < 2 {
+		t.Fatalf("amd64 without %s registered only %v", NoSIMDEnv, names)
+	}
+}
+
+// forEachImpl runs f once per available implementation with the dispatch
+// switched to it, restoring the original dispatch afterwards.
+func forEachImpl(t *testing.T, f func(t *testing.T, name string)) {
+	t.Helper()
+	orig := Active()
+	defer func() {
+		if err := Use(orig); err != nil {
+			t.Fatalf("restoring dispatch %q: %v", orig, err)
+		}
+	}()
+	for _, name := range Available() {
+		if err := Use(name); err != nil {
+			t.Fatalf("Use(%q): %v", name, err)
+		}
+		t.Run(name, func(t *testing.T) { f(t, name) })
+	}
+}
+
+// fill produces deterministic, sign- and magnitude-varied values: exactly
+// representable mantissa patterns plus irrational-ish fractions so that
+// association-order differences cannot cancel silently.
+func fill(n int, seed float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		v := math.Sin(seed+float64(i)*1.7)*1e3 + 1/(seed+float64(i)+1)
+		if i%7 == 3 {
+			v = -v
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// TestDotTailLengths locks bit-identity of every implementation against
+// the portable reference for every length 0..15 (covering the empty case,
+// pure tails, one full 8-block, and block+tail) and a few longer sizes,
+// including misaligned subslices.
+func TestDotTailLengths(t *testing.T) {
+	sizes := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 31, 40, 64, 65, 100, 127, 128}
+	for _, n := range sizes {
+		a := fill(n+3, 0.3)
+		b := fill(n+3, 1.9)
+		want := dotPortable(a[:n], b[:n])
+		forEachImpl(t, func(t *testing.T, name string) {
+			got := Dot(a[:n], b[:n])
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("n=%d: Dot=%x (%v), portable=%x (%v)", n, math.Float64bits(got), got, math.Float64bits(want), want)
+			}
+			if n >= 1 {
+				// Misaligned view: odd element offset breaks 16/32-byte
+				// alignment of the backing array.
+				gotOff := Dot(a[1:n+1], b[1:n+1])
+				wantOff := dotPortable(a[1:n+1], b[1:n+1])
+				if math.Float64bits(gotOff) != math.Float64bits(wantOff) {
+					t.Errorf("n=%d offset=1: Dot=%v, portable=%v", n, gotOff, wantOff)
+				}
+			}
+		})
+	}
+}
+
+// TestDotTrimsToMinLength is the regression test for the pre-SIMD dot,
+// which trimmed b when b was longer but indexed past b when a was longer.
+// Both orders must now agree with the explicitly trimmed product.
+func TestDotTrimsToMinLength(t *testing.T) {
+	a := fill(13, 0.7)
+	b := fill(9, 2.3)
+	want := dotPortable(a[:9], b[:9])
+	forEachImpl(t, func(t *testing.T, name string) {
+		if got := Dot(a, b); math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("Dot(len 13, len 9) = %v, want %v", got, want)
+		}
+		if got := Dot(b, a); math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("Dot(len 9, len 13) = %v, want %v", got, want)
+		}
+	})
+}
+
+// TestKernelArgsTailLengths checks the fused sweep for row dimensions
+// 0..15 and several row counts against the portable reference, bit for
+// bit, including the dim == 0 degenerate path.
+func TestKernelArgsTailLengths(t *testing.T) {
+	for _, dim := range []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 23, 40} {
+		for _, rows := range []int{1, 2, 3, 7} {
+			flat := fill(rows*dim, 0.9)
+			x := fill(dim, 3.1)
+			norms := fill(rows, 5.2)
+			const xn = 1.625
+			want := make([]float64, rows)
+			for k := range want {
+				want[k] = norms[k] + xn - 2*dotPortable(flat[k*dim:(k+1)*dim], x)
+			}
+			forEachImpl(t, func(t *testing.T, name string) {
+				got := make([]float64, rows)
+				KernelArgs(got, norms, flat, x, xn)
+				for k := range want {
+					if math.Float64bits(got[k]) != math.Float64bits(want[k]) {
+						t.Errorf("dim=%d rows=%d k=%d: got %v want %v", dim, rows, k, got[k], want[k])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestScaleApplyTailLengths checks the min-max scale for lengths 0..15,
+// including zero, negative, and NaN ranges (all of which must produce
+// exactly +0) and a short-row trim.
+func TestScaleApplyTailLengths(t *testing.T) {
+	for n := 0; n <= 15; n++ {
+		row := fill(n, 0.4)
+		lo := fill(n, 1.1)
+		hi := make([]float64, n)
+		for i := range hi {
+			switch i % 4 {
+			case 0:
+				hi[i] = lo[i] + math.Abs(row[i]) + 0.5 // positive range
+			case 1:
+				hi[i] = lo[i] // zero range
+			case 2:
+				hi[i] = lo[i] - 1 // negative range
+			default:
+				hi[i] = math.NaN() // NaN range
+			}
+		}
+		want := make([]float64, n)
+		scaleApplyPortable(want, row, lo, hi)
+		forEachImpl(t, func(t *testing.T, name string) {
+			got := make([]float64, n)
+			for i := range got {
+				got[i] = math.NaN() // must be overwritten, not skipped
+			}
+			ScaleApply(got, row, lo, hi)
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Errorf("n=%d i=%d: got %x (%v) want %x (%v)", n, i,
+						math.Float64bits(got[i]), got[i], math.Float64bits(want[i]), want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestAxpyAccumTailLengths checks dst += alpha*x for lengths 0..15 and a
+// longer block, bit for bit, for several alphas including non-finite.
+func TestAxpyAccumTailLengths(t *testing.T) {
+	for _, alpha := range []float64{1, -0.5, 1e-9, 3.7, math.Inf(1)} {
+		for n := 0; n <= 15; n++ {
+			base := fill(n, 2.2)
+			x := fill(n, 0.6)
+			want := append([]float64(nil), base...)
+			axpyAccumPortable(want, x, alpha)
+			forEachImpl(t, func(t *testing.T, name string) {
+				got := append([]float64(nil), base...)
+				AxpyAccum(got, x, alpha)
+				for i := range want {
+					if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+						t.Errorf("alpha=%v n=%d i=%d: got %v want %v", alpha, n, i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestUseRejectsUnknown locks the dispatch API: unknown names error
+// without changing the active implementation, and every Available name is
+// usable.
+func TestUseRejectsUnknown(t *testing.T) {
+	orig := Active()
+	if err := Use("no-such-impl"); err == nil {
+		t.Fatal("Use(no-such-impl) succeeded")
+	}
+	if Active() != orig {
+		t.Fatalf("failed Use changed dispatch: %q -> %q", orig, Active())
+	}
+	names := Available()
+	if len(names) == 0 || names[len(names)-1] != "portable" {
+		t.Fatalf("Available() = %v, want non-empty ending in portable", names)
+	}
+	for _, n := range names {
+		if err := Use(n); err != nil {
+			t.Fatalf("Use(%q): %v", n, err)
+		}
+		if Active() != n {
+			t.Fatalf("Active() = %q after Use(%q)", Active(), n)
+		}
+	}
+	if err := Use(orig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublishExpvar checks the observability surface: after PublishExpvar
+// the active dispatch and the implementation list are live expvar
+// variables (served under /debug/vars by hotspotd and -debug-addr).
+func TestPublishExpvar(t *testing.T) {
+	PublishExpvar()
+	PublishExpvar() // idempotent: a second server must not panic on re-publish
+	v := expvar.Get("simd.dispatch")
+	if v == nil {
+		t.Fatal("simd.dispatch not published")
+	}
+	if got, want := v.String(), `"`+Active()+`"`; got != want {
+		t.Fatalf("simd.dispatch = %s, want %s", got, want)
+	}
+	if expvar.Get("simd.available") == nil {
+		t.Fatal("simd.available not published")
+	}
+}
+
+// TestPrimitivesDoNotAllocate locks the zero-allocation contract of the
+// exported wrappers on every implementation.
+func TestPrimitivesDoNotAllocate(t *testing.T) {
+	a := fill(67, 0.8)
+	b := fill(67, 1.2)
+	dst := make([]float64, 5)
+	norms := fill(5, 4.4)
+	forEachImpl(t, func(t *testing.T, name string) {
+		if n := testing.AllocsPerRun(100, func() {
+			Dot(a, b)
+			KernelArgs(dst, norms, a[:5*13], b[:13], 0.5)
+			ScaleApply(dst, norms, a[:5], b[:5])
+			AxpyAccum(dst, norms, 0.25)
+		}); n != 0 {
+			t.Errorf("primitives allocated %.1f allocs/op", n)
+		}
+	})
+}

@@ -4,6 +4,8 @@ import (
 	"math"
 	"runtime"
 	"sync"
+
+	"hotspot/internal/simd"
 )
 
 // batchChunkRows is the minimum number of rows each worker goroutine gets
@@ -21,12 +23,23 @@ var normPool = sync.Pool{
 	},
 }
 
+// argsPool recycles the per-range kernel-argument scratch buffer (one
+// float64 per support vector). Pooled rather than stack-allocated because
+// the buffer is passed through the simd dispatch's indirect call, which
+// forces it to escape.
+var argsPool = sync.Pool{
+	New: func() any {
+		s := make([]float64, 0, 256)
+		return &s
+	},
+}
+
 // DecisionBatch evaluates the decision function for every row of xs in one
 // pass over the flat support-vector matrix: per-SV norms are precomputed,
-// query norms are computed once into a pooled scratch buffer, queries are
-// processed four at a time so each support vector's cache line is reused
-// across the block, and large batches fan out across CPUs. The result is
-// bit-for-bit identical to calling Decision on each row.
+// query norms are computed once into a pooled scratch buffer, each query
+// sweeps the whole support-vector block with one fused simd.KernelArgs
+// call, and large batches fan out across CPUs. The result is bit-for-bit
+// identical to calling Decision on each row.
 func (m *Model) DecisionBatch(xs [][]float64) []float64 {
 	out := make([]float64, len(xs))
 	m.DecisionBatchInto(xs, out)
@@ -74,34 +87,41 @@ func (m *Model) DecisionBatchInto(xs [][]float64, out []float64) {
 	normPool.Put(qnp)
 }
 
-// decideRange evaluates a slice of queries, four at a time. Each support
-// vector row is loaded once per 4-query block, and the per-query
-// accumulation order over support vectors matches decideOne exactly.
+// decideRange evaluates a slice of queries. Each query fills a pooled
+// kernel-argument buffer with one simd.KernelArgs sweep over the flat
+// support-vector block, then accumulates coef[k]*exp(-gamma*arg[k]) in
+// support-vector order — the same dot, the same norms[k]+xn-2d expression,
+// the same clamp, and the same summation order as decideOne, so the result
+// is bit-identical to the scalar path on every dispatch.
 func (m *Model) decideRange(xs [][]float64, qn, out []float64) {
 	dim := m.dim
 	flat := m.flat
 	norms := m.norms
 	coef := m.Coef
 	gamma := m.Gamma
-	i := 0
-	for ; i+4 <= len(xs); i += 4 {
-		x0, x1, x2, x3 := xs[i], xs[i+1], xs[i+2], xs[i+3]
-		n0, n1, n2, n3 := qn[i], qn[i+1], qn[i+2], qn[i+3]
-		var s0, s1, s2, s3 float64
-		for k := range coef {
-			sv := flat[k*dim : (k+1)*dim]
-			c, nk := coef[k], norms[k]
-			s0 += c * math.Exp(-gamma*kernelArg(nk, n0, dot(sv, x0)))
-			s1 += c * math.Exp(-gamma*kernelArg(nk, n1, dot(sv, x1)))
-			s2 += c * math.Exp(-gamma*kernelArg(nk, n2, dot(sv, x2)))
-			s3 += c * math.Exp(-gamma*kernelArg(nk, n3, dot(sv, x3)))
+	ap := argsPool.Get().(*[]float64)
+	args := *ap
+	if cap(args) < len(coef) {
+		args = make([]float64, len(coef))
+	}
+	args = args[:len(coef)]
+	for i, x := range xs {
+		if len(x) < dim {
+			// Ragged short query: the per-SV scalar path trims each dot to
+			// the query length; the fused sweep assumes full-stride rows.
+			out[i] = m.decideOne(x, qn[i])
+			continue
 		}
-		out[i] = s0 - m.Rho
-		out[i+1] = s1 - m.Rho
-		out[i+2] = s2 - m.Rho
-		out[i+3] = s3 - m.Rho
+		simd.KernelArgs(args, norms, flat, x[:dim], qn[i])
+		var s float64
+		for k, a := range args {
+			if a < 0 {
+				a = 0
+			}
+			s += coef[k] * math.Exp(-gamma*a)
+		}
+		out[i] = s - m.Rho
 	}
-	for ; i < len(xs); i++ {
-		out[i] = m.decideOne(xs[i], qn[i])
-	}
+	*ap = args
+	argsPool.Put(ap)
 }

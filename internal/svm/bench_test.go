@@ -8,6 +8,8 @@ import (
 	"os"
 	"runtime"
 	"testing"
+
+	"hotspot/internal/simd"
 )
 
 // Benchmark fixtures: a mid-sized RBF model (256 SVs x 40 dims, the shape
@@ -143,9 +145,10 @@ func TestWriteBenchSVMJSON(t *testing.T) {
 	})
 
 	doc := map[string]any{
-		"generated_by": "make bench-svm-json (internal/svm TestWriteBenchSVMJSON)",
-		"gomaxprocs":   runtime.GOMAXPROCS(0),
-		"model":        map[string]int{"support_vectors": 256, "dim": 40},
+		"generated_by":  "make bench-svm-json (internal/svm TestWriteBenchSVMJSON)",
+		"gomaxprocs":    runtime.GOMAXPROCS(0),
+		"simd_dispatch": simd.Active(),
+		"model":         map[string]int{"support_vectors": 256, "dim": 40},
 		"decision_ns_per_batch": map[string]float64{
 			"rows":              rows,
 			"batch":             batchNs,

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"hotspot/internal/obs"
+	"hotspot/internal/simd"
 )
 
 // DefaultCacheBytes is the kernel-row cache budget used when
@@ -70,9 +71,15 @@ func (c *kernelCache) row(i int) []float64 {
 	r := &cacheRow{idx: i, k: make([]float64, c.n)}
 	xi := c.flat[i*c.dim : (i+1)*c.dim]
 	ni := c.norms[i]
-	for j := 0; j < c.n; j++ {
-		xj := c.flat[j*c.dim : (j+1)*c.dim]
-		r.k[j] = math.Exp(-c.gamma * kernelArg(ni, c.norms[j], dot(xi, xj)))
+	// One fused sweep fills the row with the unclamped kernel arguments
+	// norms[j] + ni - 2<x_j, x_i>; the clamp and exp stay here so the row
+	// is bit-identical to a kernelArg/dot composition on any dispatch.
+	simd.KernelArgs(r.k, c.norms, c.flat, xi, ni)
+	for j, a := range r.k {
+		if a < 0 {
+			a = 0
+		}
+		r.k[j] = math.Exp(-c.gamma * a)
 	}
 	c.bytes += 8 * c.n
 	for c.bytes > c.budget && c.tail != nil {

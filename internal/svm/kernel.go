@@ -1,5 +1,7 @@
 package svm
 
+import "hotspot/internal/simd"
+
 // Flat-vector kernel primitives. Training rows and support vectors are
 // stored in a single contiguous []float64 with stride dim, and per-row
 // squared norms are precomputed once, so the RBF evaluates as
@@ -29,26 +31,14 @@ func flatten(rows [][]float64) (flat, norms []float64, dim int) {
 	return flat, norms, dim
 }
 
-// dot is the shared inner product. The 4-way unroll uses a fixed
-// association order ((s0+s1)+(s2+s3), then the tail), so every caller gets
-// the same rounding for the same operands.
+// dot is the shared inner product, delegated to the runtime-dispatched
+// simd layer. Every dispatch path uses the same fixed 8-lane blocked
+// association order, so every caller gets the same rounding for the same
+// operands regardless of the CPU the binary lands on. Mismatched lengths
+// trim to the shorter slice (the pre-simd version trimmed only b and
+// indexed past the end of b when a was longer).
 func dot(a, b []float64) float64 {
-	if len(b) > len(a) {
-		b = b[:len(a)]
-	}
-	var s0, s1, s2, s3 float64
-	i := 0
-	for ; i+4 <= len(a); i += 4 {
-		s0 += a[i] * b[i]
-		s1 += a[i+1] * b[i+1]
-		s2 += a[i+2] * b[i+2]
-		s3 += a[i+3] * b[i+3]
-	}
-	s := (s0 + s1) + (s2 + s3)
-	for ; i < len(a); i++ {
-		s += a[i] * b[i]
-	}
-	return s
+	return simd.Dot(a, b)
 }
 
 // sqNormDim is the squared norm of x truncated to dim components (rows

@@ -1,5 +1,7 @@
 package svm
 
+import "hotspot/internal/simd"
+
 // Scaler min-max scales feature vectors to [0, 1] per component, the usual
 // preconditioning for RBF kernels (matching LIBSVM's svm-scale).
 type Scaler struct {
@@ -39,16 +41,23 @@ func (s *Scaler) Apply(row []float64) []float64 {
 // lacks capacity). The result is identical to Apply's; it is valid until
 // the caller reuses dst.
 func (s *Scaler) ApplyInto(row, dst []float64) []float64 {
-	out := dst[:0]
-	for i := range s.Min {
-		v := 0.0
-		if i < len(row) {
-			r := s.Max[i] - s.Min[i]
-			if r > 0 {
-				v = (row[i] - s.Min[i]) / r
-			}
-		}
-		out = append(out, v)
+	n := len(s.Min)
+	var out []float64
+	if cap(dst) < n {
+		out = make([]float64, n)
+	} else {
+		out = dst[:n]
+	}
+	m := n
+	if len(row) < m {
+		m = len(row)
+	}
+	// (row[i]-Min[i])/(Max[i]-Min[i]) where the range is strictly positive,
+	// exactly +0 elsewhere; division is exactly rounded, so the packed and
+	// scalar paths agree bit for bit.
+	simd.ScaleApply(out[:m], row[:m], s.Min[:m], s.Max[:m])
+	for i := m; i < n; i++ {
+		out[i] = 0
 	}
 	return out
 }

@@ -1,0 +1,152 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hotspot/internal/simd"
+)
+
+// withEachDispatch runs f under every available simd implementation,
+// restoring the default dispatch afterwards.
+func withEachDispatch(t *testing.T, f func(t *testing.T, name string)) {
+	t.Helper()
+	orig := simd.Active()
+	defer func() {
+		if err := simd.Use(orig); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	for _, name := range simd.Available() {
+		if err := simd.Use(name); err != nil {
+			t.Fatalf("Use(%q): %v", name, err)
+		}
+		t.Run(name, func(t *testing.T) { f(t, name) })
+	}
+}
+
+// TestDecisionDispatchConsistency pins the tentpole's bit-identity
+// contract at the svm layer: Decision and DecisionBatch produce the same
+// float64 bits under every simd dispatch, for every query.
+func TestDecisionDispatchConsistency(t *testing.T) {
+	m, rng := benchModel()
+	queries := make([][]float64, 37)
+	for i := range queries {
+		queries[i] = make([]float64, 40)
+		for j := range queries[i] {
+			queries[i][j] = rng.NormFloat64()
+		}
+	}
+
+	if err := simd.Use("portable"); err != nil {
+		t.Fatal(err)
+	}
+	wantScalar := make([]float64, len(queries))
+	for i, q := range queries {
+		wantScalar[i] = m.Decision(q)
+	}
+	wantBatch := m.DecisionBatch(queries)
+	for i := range wantScalar {
+		if math.Float64bits(wantScalar[i]) != math.Float64bits(wantBatch[i]) {
+			t.Fatalf("portable: scalar/batch disagree at %d: %v vs %v", i, wantScalar[i], wantBatch[i])
+		}
+	}
+
+	withEachDispatch(t, func(t *testing.T, name string) {
+		for i, q := range queries {
+			if got := m.Decision(q); math.Float64bits(got) != math.Float64bits(wantScalar[i]) {
+				t.Fatalf("Decision query %d: %x, portable %x", i,
+					math.Float64bits(got), math.Float64bits(wantScalar[i]))
+			}
+		}
+		batch := m.DecisionBatch(queries)
+		for i := range wantBatch {
+			if math.Float64bits(batch[i]) != math.Float64bits(wantBatch[i]) {
+				t.Fatalf("DecisionBatch query %d: %x, portable %x", i,
+					math.Float64bits(batch[i]), math.Float64bits(wantBatch[i]))
+			}
+		}
+	})
+}
+
+// TestTrainDispatchConsistency pins training: the SMO solver (kernel cache
+// rows, gradient reconstruction, working-set selection) must produce the
+// identical model — support vectors, coefficients, rho, iteration count —
+// under every simd dispatch.
+func TestTrainDispatchConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	x, y := benchTrainSet(rng, 120, 12)
+	p := Params{C: 4, Gamma: 0.3}
+
+	if err := simd.Use("portable"); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Train(x, y, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	withEachDispatch(t, func(t *testing.T, name string) {
+		got, err := Train(x, y, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Iters != want.Iters {
+			t.Fatalf("iters %d, portable %d", got.Iters, want.Iters)
+		}
+		if math.Float64bits(got.Rho) != math.Float64bits(want.Rho) {
+			t.Fatalf("rho %v, portable %v", got.Rho, want.Rho)
+		}
+		if len(got.SVs) != len(want.SVs) || len(got.Coef) != len(want.Coef) {
+			t.Fatalf("%d SVs / %d coefs, portable %d / %d",
+				len(got.SVs), len(got.Coef), len(want.SVs), len(want.Coef))
+		}
+		for i := range got.Coef {
+			if math.Float64bits(got.Coef[i]) != math.Float64bits(want.Coef[i]) {
+				t.Fatalf("coef %d: %v, portable %v", i, got.Coef[i], want.Coef[i])
+			}
+			for j := range got.SVs[i] {
+				if math.Float64bits(got.SVs[i][j]) != math.Float64bits(want.SVs[i][j]) {
+					t.Fatalf("SV %d[%d]: %v, portable %v", i, j, got.SVs[i][j], want.SVs[i][j])
+				}
+			}
+		}
+	})
+}
+
+// TestDecisionShortQueryTrims is the regression test for the dot
+// out-of-range bug: a query shorter than the model dimension used to index
+// past the query's end (the old dot trimmed only its second operand, so
+// Decision panicked on short queries). Short queries must now evaluate by
+// trimming each product to the query length — numerically the zero-padded
+// query (to the last ulp of reduction-order difference) — identically on
+// every dispatch.
+func TestDecisionShortQueryTrims(t *testing.T) {
+	m, rng := benchModel()
+	short := make([]float64, 7) // model dim is 40
+	for i := range short {
+		short[i] = math.Abs(rng.NormFloat64()) + 0.25
+	}
+	padded := make([]float64, 40)
+	copy(padded, short)
+
+	if err := simd.Use("portable"); err != nil {
+		t.Fatal(err)
+	}
+	want := m.Decision(short) // panicked before the trim fix
+	ref := m.Decision(padded)
+	if math.IsNaN(want) || math.Abs(want-ref) > 1e-9*(1+math.Abs(ref)) {
+		t.Fatalf("short query decision %v far from padded %v", want, ref)
+	}
+
+	withEachDispatch(t, func(t *testing.T, name string) {
+		if got := m.Decision(short); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("short query decision %v, portable %v", got, want)
+		}
+		batch := m.DecisionBatch([][]float64{short})
+		if math.Float64bits(batch[0]) != math.Float64bits(want) {
+			t.Fatalf("batch short query %v, portable %v", batch[0], want)
+		}
+	})
+}

@@ -466,8 +466,9 @@ func (m *Model) Decision(x []float64) float64 {
 
 // decideOne evaluates f(x) given x's precomputed squared norm. It is the
 // single source of truth for the decision arithmetic: DecisionBatch's
-// blocked kernel performs the identical operations in the identical order,
-// so scalar and batched results are bit-for-bit equal.
+// fused kernel-argument sweep performs the identical operations in the
+// identical order, so scalar and batched results are bit-for-bit equal on
+// every simd dispatch.
 func (m *Model) decideOne(x []float64, xn float64) float64 {
 	var sum float64
 	dim := m.dim

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"hotspot/internal/geom"
+	"hotspot/internal/simd"
 )
 
 // Density is the pixel polygon-density vector of a core pattern: an N x N
@@ -148,9 +149,9 @@ func Mean(grids []Density) Density {
 	}
 	out := Density{N: grids[0].N, D: make([]float64, len(grids[0].D))}
 	for _, g := range grids {
-		for i, v := range g.D {
-			out.D[i] += v
-		}
+		// alpha = 1 keeps the accumulation exact: 1*v rounds to v, so the
+		// simd path adds the same addends as the plain loop it replaced.
+		simd.AxpyAccum(out.D, g.D, 1)
 	}
 	inv := 1 / float64(len(grids))
 	for i := range out.D {

@@ -1,0 +1,60 @@
+package train
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"hotspot/internal/simd"
+)
+
+// TestWriteBenchTrainJSON regenerates BENCH_train.json at the repo root
+// when HOTSPOT_BENCH_JSON is set (see `make bench-train-json` and
+// EXPERIMENTS.md): the full cross-validated model selection on the fixture
+// corpus, parallel and serial, with the fan-out speedup and the active
+// simd dispatch recorded in the artifact.
+func TestWriteBenchTrainJSON(t *testing.T) {
+	if os.Getenv("HOTSPOT_BENCH_JSON") == "" {
+		t.Skip("set HOTSPOT_BENCH_JSON=1 to (re)write BENCH_train.json")
+	}
+	corpus := fixtureCorpus(t)
+
+	nsPerOp := func(workers int) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := CrossValidate(corpus, fixtureConfig(), fixtureOptions(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Detector == nil {
+					b.Fatal("no detector")
+				}
+			}
+		})
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	parallelNs := nsPerOp(0)
+	serialNs := nsPerOp(1)
+
+	doc := map[string]any{
+		"generated_by":  "make bench-train-json (internal/train TestWriteBenchTrainJSON)",
+		"gomaxprocs":    runtime.GOMAXPROCS(0),
+		"simd_dispatch": simd.Active(),
+		"corpus_clips":  len(corpus),
+		"cross_validate_ns": map[string]float64{
+			"parallel": parallelNs,
+			"serial":   serialNs,
+		},
+		"speedup_parallel_vs_serial": serialNs / parallelNs,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_train.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cross-validate parallel %.0fms serial %.0fms (x%.2f, %s dispatch)",
+		parallelNs/1e6, serialNs/1e6, serialNs/parallelNs, simd.Active())
+}
